@@ -1,0 +1,77 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_figXX_*.py`` module regenerates one exhibit of the paper's
+evaluation section (Figures 9-14) on the scaled-down synthetic STRING/PPI
+substitute, prints the same series the paper plots, and exposes the heavy
+computation to ``pytest-benchmark`` so wall-clock numbers are tracked.
+
+The dataset and index here are intentionally much smaller than the paper's
+(5K graphs of ~385 vertices): EXPERIMENTS.md records the scaling and compares
+the *shapes* of the curves, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProbabilisticGraphDatabase
+from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_query_workload
+from repro.pmi import BoundConfig, FeatureSelectionConfig
+
+BENCH_SEED = 20120901
+
+BENCH_DATASET_CONFIG = PPIDatasetConfig(
+    num_graphs=24,
+    num_families=4,
+    vertices_per_graph=16,
+    edges_per_graph=22,
+    motif_vertices=4,
+    motif_edges=5,
+    mean_edge_probability=0.55,
+    probability_spread=0.2,
+)
+
+BENCH_FEATURE_CONFIG = FeatureSelectionConfig(
+    alpha=0.1, beta=0.15, gamma=0.1, max_vertices=3, max_features=16
+)
+
+BENCH_BOUND_CONFIG = BoundConfig(num_samples=120)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print one figure's series as an aligned text table."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0)) for i in range(len(header))]
+    print("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture(scope="session")
+def bench_database():
+    """The synthetic PPI database shared by every figure."""
+    return generate_ppi_database(BENCH_DATASET_CONFIG, rng=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_engine(bench_database):
+    """A fully indexed search engine over the benchmark database."""
+    engine = ProbabilisticGraphDatabase(bench_database.graphs)
+    engine.build_index(
+        feature_config=BENCH_FEATURE_CONFIG,
+        bound_config=BENCH_BOUND_CONFIG,
+        rng=BENCH_SEED,
+    )
+    return engine
+
+
+@pytest.fixture(scope="session")
+def bench_workload(bench_database):
+    """The default query workload (paper default: size-150 queries; scaled to 5)."""
+    return generate_query_workload(
+        bench_database.graphs,
+        query_size=5,
+        num_queries=4,
+        organisms=bench_database.organisms,
+        rng=BENCH_SEED,
+    )

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can still be installed in editable mode on environments whose
+setuptools/pip lack PEP 660 editable-wheel support (for example fully offline
+machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

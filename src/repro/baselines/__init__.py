@@ -1,0 +1,7 @@
+"""Baselines used in the paper's experiments: the Exact database scan and the
+independent-edge probability model (IND)."""
+
+from repro.baselines.exact_scan import ExactScanBaseline
+from repro.baselines.independent_model import to_independent_model, database_to_independent
+
+__all__ = ["ExactScanBaseline", "to_independent_model", "database_to_independent"]

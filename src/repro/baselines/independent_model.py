@@ -1,0 +1,32 @@
+"""The independent-edge probability model (IND baseline of Figure 14).
+
+The paper compares answer quality under the correlated model (COR, joint
+probability tables over neighbor edge sets) against the classical independent
+model (IND).  The conversion keeps every edge's *marginal* existence
+probability but rebuilds the joint tables as products of independent
+Bernoullis, discarding all correlation structure.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.probabilistic_graph import NeighborEdgeFactor, ProbabilisticGraph
+from repro.probability.jpt import JointProbabilityTable
+
+
+def to_independent_model(graph: ProbabilisticGraph) -> ProbabilisticGraph:
+    """Return a copy of ``graph`` whose factors assume independent edges.
+
+    Edge marginals are preserved; only the correlation structure inside each
+    neighbor edge set is dropped.
+    """
+    factors = []
+    for factor in graph.factors:
+        marginals = {key: factor.jpt.edge_marginal(key) for key in factor.edges}
+        independent = JointProbabilityTable.from_independent_marginals(marginals)
+        factors.append(NeighborEdgeFactor(tuple(factor.edges), independent))
+    return ProbabilisticGraph(graph.skeleton, factors, name=graph.name)
+
+
+def database_to_independent(graphs: list[ProbabilisticGraph]) -> list[ProbabilisticGraph]:
+    """Convert a whole database to the independent model."""
+    return [to_independent_model(graph) for graph in graphs]

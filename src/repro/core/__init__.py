@@ -1,0 +1,30 @@
+"""Query-processing core: relaxation, tightest SSP bounds, pruning
+conditions, verification, and the end-to-end search engine."""
+
+from repro.core.relaxation import relax_query, RelaxationConfig
+from repro.core.set_cover import greedy_weighted_set_cover, exhaustive_weighted_set_cover
+from repro.core.quadratic_program import solve_lsim_rounding, QPResult
+from repro.core.pruning import ProbabilisticPruner, PruningConfig, PruningDecision, SspBounds
+from repro.core.verification import Verifier, VerificationConfig
+from repro.core.results import QueryAnswer, QueryResult, QueryStatistics
+from repro.core.search_engine import ProbabilisticGraphDatabase, SearchConfig
+
+__all__ = [
+    "QueryResult",
+    "relax_query",
+    "RelaxationConfig",
+    "greedy_weighted_set_cover",
+    "exhaustive_weighted_set_cover",
+    "solve_lsim_rounding",
+    "QPResult",
+    "ProbabilisticPruner",
+    "PruningConfig",
+    "PruningDecision",
+    "SspBounds",
+    "Verifier",
+    "VerificationConfig",
+    "QueryAnswer",
+    "QueryStatistics",
+    "ProbabilisticGraphDatabase",
+    "SearchConfig",
+]

@@ -1,0 +1,205 @@
+"""Probabilistic pruning (Section 3): SSP bounds and Pruning conditions 1 & 2.
+
+For each candidate graph that survived structural pruning, the pruner derives
+an upper bound ``Usim(q)`` and a lower bound ``Lsim(q)`` of the subgraph
+similarity probability from the PMI's per-feature SIP bounds:
+
+* **Pruning 1 (subgraph pruning, Theorem 3)** — features contained in the
+  relaxed queries give ``Usim``; if ``Usim < ε`` the graph is pruned.
+* **Pruning 2 (super-graph pruning, Theorem 4)** — features containing the
+  relaxed queries give ``Lsim``; if ``Lsim ≥ ε`` the graph is accepted
+  without verification.
+
+The *tightest* bounds use weighted set cover (Algorithm 1) and the QP
+rounding scheme (Algorithm 2); the plain variants pick one arbitrary feature
+per relaxed query, matching the SSPBound / OPT-SSPBound split in the paper's
+experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.quadratic_program import QPSet, solve_lsim_rounding
+from repro.core.set_cover import WeightedSet, greedy_weighted_set_cover
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.isomorphism.vf2 import is_subgraph_isomorphic
+from repro.pmi.bounds import SipBounds
+from repro.pmi.features import Feature
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+class PruningDecision(enum.Enum):
+    """Outcome of probabilistic pruning for one graph."""
+
+    PRUNED = "pruned"              # Usim < ε : cannot be an answer
+    ACCEPTED = "accepted"          # Lsim ≥ ε : answer without verification
+    CANDIDATE = "candidate"        # needs verification
+
+
+@dataclass(frozen=True)
+class SspBounds:
+    """Derived bounds of the subgraph similarity probability for one graph."""
+
+    usim: float
+    lsim: float
+    usim_covered: bool
+    lsim_covered: bool
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Which bound variants to use (the paper's SSPBound vs OPT-SSPBound)."""
+
+    optimal_usim: bool = True
+    optimal_lsim: bool = True
+
+
+class ProbabilisticPruner:
+    """Applies Pruning 1 and Pruning 2 using PMI bounds."""
+
+    def __init__(
+        self,
+        features: list[Feature],
+        config: PruningConfig | None = None,
+        rng: RandomLike = None,
+    ) -> None:
+        self.features = {feature.feature_id: feature for feature in features}
+        self.config = config or PruningConfig()
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def compute_bounds(
+        self,
+        relaxed_queries: list[LabeledGraph],
+        graph_bounds: dict[int, SipBounds],
+    ) -> SspBounds:
+        """Compute ``(Usim, Lsim)`` for one graph.
+
+        Parameters
+        ----------
+        relaxed_queries:
+            The set ``U = {rq1..rqa}``.
+        graph_bounds:
+            The graph's PMI row ``Dg`` — {feature_id: SipBounds} restricted to
+            features present in the graph's skeleton.
+        """
+        containment = self._containment_relations(relaxed_queries, graph_bounds)
+        usim, usim_covered = self._upper_bound(relaxed_queries, graph_bounds, containment)
+        lsim, lsim_covered = self._lower_bound(relaxed_queries, graph_bounds, containment)
+        return SspBounds(
+            usim=usim, lsim=lsim, usim_covered=usim_covered, lsim_covered=lsim_covered
+        )
+
+    def decide(self, bounds: SspBounds, probability_threshold: float) -> PruningDecision:
+        """Apply the two pruning conditions to the computed bounds."""
+        if bounds.usim_covered and bounds.usim < probability_threshold:
+            return PruningDecision.PRUNED
+        if bounds.lsim_covered and bounds.lsim >= probability_threshold:
+            return PruningDecision.ACCEPTED
+        return PruningDecision.CANDIDATE
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _containment_relations(
+        self,
+        relaxed_queries: list[LabeledGraph],
+        graph_bounds: dict[int, SipBounds],
+    ) -> dict[int, dict[str, set[int]]]:
+        """For each available feature: which rq's contain it / are contained in it.
+
+        ``sub[j]`` holds indices i with ``fj ⊆iso rqi`` (feature inside the
+        relaxed query, used for the upper bound); ``super[j]`` holds indices
+        with ``rqi ⊆iso fj`` (feature contains the relaxed query, used for
+        the lower bound).
+        """
+        relations: dict[int, dict[str, set[int]]] = {}
+        for feature_id in graph_bounds:
+            feature = self.features.get(feature_id)
+            if feature is None:
+                continue
+            sub_of: set[int] = set()
+            super_of: set[int] = set()
+            for index, relaxed in enumerate(relaxed_queries):
+                if feature.graph.num_edges <= relaxed.num_edges and is_subgraph_isomorphic(
+                    feature.graph, relaxed
+                ):
+                    sub_of.add(index)
+                if feature.graph.num_edges >= relaxed.num_edges and is_subgraph_isomorphic(
+                    relaxed, feature.graph
+                ):
+                    super_of.add(index)
+            relations[feature_id] = {"sub": sub_of, "super": super_of}
+        return relations
+
+    def _upper_bound(
+        self,
+        relaxed_queries: list[LabeledGraph],
+        graph_bounds: dict[int, SipBounds],
+        containment: dict[int, dict[str, set[int]]],
+    ) -> tuple[float, bool]:
+        universe = frozenset(range(len(relaxed_queries)))
+        candidates = [
+            WeightedSet(
+                set_id=feature_id,
+                members=frozenset(relations["sub"]),
+                weight=graph_bounds[feature_id].upper,
+            )
+            for feature_id, relations in containment.items()
+            if relations["sub"]
+        ]
+        if not candidates:
+            return 1.0, False
+        if self.config.optimal_usim:
+            solution = greedy_weighted_set_cover(universe, candidates)
+            if not solution.covered:
+                return 1.0, False
+            return min(1.0, solution.total_weight), True
+        # plain SSPBound: one arbitrary feature per relaxed query
+        total = 0.0
+        for index in universe:
+            matching = [c for c in candidates if index in c.members]
+            if not matching:
+                return 1.0, False
+            total += matching[0].weight
+        return min(1.0, total), True
+
+    def _lower_bound(
+        self,
+        relaxed_queries: list[LabeledGraph],
+        graph_bounds: dict[int, SipBounds],
+        containment: dict[int, dict[str, set[int]]],
+    ) -> tuple[float, bool]:
+        universe = frozenset(range(len(relaxed_queries)))
+        candidates = [
+            QPSet(
+                set_id=feature_id,
+                members=frozenset(relations["super"]),
+                lower_weight=graph_bounds[feature_id].lower,
+                upper_weight=graph_bounds[feature_id].upper,
+            )
+            for feature_id, relations in containment.items()
+            if relations["super"]
+        ]
+        if not candidates:
+            return 0.0, False
+        if self.config.optimal_lsim:
+            result = solve_lsim_rounding(universe, candidates, rng=self.rng)
+            if not result.covered:
+                return 0.0, False
+            return max(0.0, min(1.0, result.lower_bound)), True
+        # plain SSPBound: one arbitrary covering feature per relaxed query
+        chosen: list[QPSet] = []
+        for index in universe:
+            matching = [c for c in candidates if index in c.members]
+            if not matching:
+                return 0.0, False
+            if matching[0] not in chosen:
+                chosen.append(matching[0])
+        lower_sum = sum(c.lower_weight for c in chosen)
+        upper_sum = sum(c.upper_weight for c in chosen)
+        return max(0.0, min(1.0, lower_sum - upper_sum * upper_sum)), True

@@ -1,0 +1,73 @@
+"""Result and statistics containers returned by the search engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One graph returned by a query.
+
+    ``decided_by`` records which stage produced the answer:
+    ``"lower_bound"`` (accepted by Pruning 2 without verification) or
+    ``"verification"``.  ``probability`` is the Lsim lower bound in the first
+    case and the verified SSP estimate in the second.
+    """
+
+    graph_id: int
+    graph_name: str | None
+    probability: float
+    decided_by: str
+
+
+@dataclass
+class QueryStatistics:
+    """Per-phase counters and timings for one query run."""
+
+    database_size: int = 0
+    structural_candidates: int = 0
+    probabilistic_candidates: int = 0
+    accepted_by_lower_bound: int = 0
+    pruned_by_upper_bound: int = 0
+    verified: int = 0
+    answers: int = 0
+    structural_seconds: float = 0.0
+    probabilistic_seconds: float = 0.0
+    verification_seconds: float = 0.0
+    total_seconds: float = 0.0
+    relaxed_query_count: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (benchmarks serialize this)."""
+        return {
+            "database_size": self.database_size,
+            "structural_candidates": self.structural_candidates,
+            "probabilistic_candidates": self.probabilistic_candidates,
+            "accepted_by_lower_bound": self.accepted_by_lower_bound,
+            "pruned_by_upper_bound": self.pruned_by_upper_bound,
+            "verified": self.verified,
+            "answers": self.answers,
+            "structural_seconds": round(self.structural_seconds, 6),
+            "probabilistic_seconds": round(self.probabilistic_seconds, 6),
+            "verification_seconds": round(self.verification_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "relaxed_query_count": self.relaxed_query_count,
+        }
+
+
+@dataclass
+class QueryResult:
+    """Answers plus statistics for one query."""
+
+    answers: list[QueryAnswer] = field(default_factory=list)
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+
+    def answer_ids(self) -> set[int]:
+        return {answer.graph_id for answer in self.answers}
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self):
+        return iter(self.answers)

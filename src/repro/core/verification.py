@@ -1,0 +1,136 @@
+"""Verification: computing the subgraph similarity probability of a candidate
+(Section 5).
+
+Three strategies are provided, all built on Lemma 1 / Equation 22, which
+identify ``Pr(q ⊆sim g)`` with the probability that at least one embedding of
+one relaxed query is fully present in the sampled world:
+
+* ``"sampling"`` — the paper's Algorithm 5 (Karp-Luby coverage sampler, SMP
+  in the experiments);
+* ``"inclusion_exclusion"`` — exact Equation 21 over the embedding events
+  (the paper's Exact method; exponential in the number of events);
+* ``"enumeration"`` — brute-force possible-world enumeration with a direct
+  subgraph-distance test per world; the slowest but most literal ground
+  truth, used by tests and available for tiny graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.relaxation import RelaxationConfig, relax_query
+from repro.exceptions import VerificationError
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.possible_worlds import enumerate_possible_worlds
+from repro.graphs.probabilistic_graph import ProbabilisticGraph
+from repro.isomorphism.embeddings import find_embeddings
+from repro.isomorphism.mcs import is_subgraph_similar
+from repro.probability.dnf import estimate_union_probability, exact_union_probability
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class VerificationConfig:
+    """Controls the verification strategy and its accuracy/cost trade-offs."""
+
+    method: str = "sampling"
+    xi: float = 0.05
+    tau: float = 0.1
+    num_samples: int | None = 400
+    embedding_limit: int = 64
+    max_exact_events: int = 18
+    max_enumeration_edges: int = 18
+
+
+class Verifier:
+    """Computes SSP estimates for (query, graph) pairs."""
+
+    def __init__(
+        self,
+        config: VerificationConfig | None = None,
+        relaxation: RelaxationConfig | None = None,
+        rng: RandomLike = None,
+    ) -> None:
+        self.config = config or VerificationConfig()
+        self.relaxation = relaxation or RelaxationConfig()
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def subgraph_similarity_probability(
+        self,
+        query: LabeledGraph,
+        graph: ProbabilisticGraph,
+        distance_threshold: int,
+        relaxed_queries: list[LabeledGraph] | None = None,
+        method: str | None = None,
+    ) -> float:
+        """``Pr(q ⊆sim g)`` with the configured (or overridden) method."""
+        strategy = method or self.config.method
+        if strategy == "enumeration":
+            return self._by_enumeration(query, graph, distance_threshold)
+        if relaxed_queries is None:
+            relaxed_queries = relax_query(query, distance_threshold, self.relaxation)
+        events = self._embedding_events(relaxed_queries, graph)
+        if not events:
+            return 0.0
+        if strategy == "sampling":
+            return estimate_union_probability(
+                graph,
+                events,
+                xi=self.config.xi,
+                tau=self.config.tau,
+                num_samples=self.config.num_samples,
+                rng=self.rng,
+            )
+        if strategy == "inclusion_exclusion":
+            return exact_union_probability(
+                graph, events, max_events=self.config.max_exact_events
+            )
+        raise VerificationError(f"unknown verification method {strategy!r}")
+
+    def matches(
+        self,
+        query: LabeledGraph,
+        graph: ProbabilisticGraph,
+        probability_threshold: float,
+        distance_threshold: int,
+        relaxed_queries: list[LabeledGraph] | None = None,
+        method: str | None = None,
+    ) -> tuple[bool, float]:
+        """(is answer, SSP estimate) for one candidate graph."""
+        probability = self.subgraph_similarity_probability(
+            query, graph, distance_threshold, relaxed_queries=relaxed_queries, method=method
+        )
+        return probability >= probability_threshold, probability
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _embedding_events(
+        self, relaxed_queries: list[LabeledGraph], graph: ProbabilisticGraph
+    ) -> list[frozenset]:
+        """The events of Equation 22: edge sets of every relaxed-query embedding."""
+        events: list[frozenset] = []
+        for relaxed in relaxed_queries:
+            for embedding in find_embeddings(
+                relaxed, graph.skeleton, limit=self.config.embedding_limit
+            ):
+                events.append(embedding.edges)
+        return events
+
+    def _by_enumeration(
+        self, query: LabeledGraph, graph: ProbabilisticGraph, distance_threshold: int
+    ) -> float:
+        if graph.num_edges > self.config.max_enumeration_edges:
+            raise VerificationError(
+                "possible-world enumeration limited to "
+                f"{self.config.max_enumeration_edges} uncertain edges; "
+                f"graph has {graph.num_edges}"
+            )
+        total = 0.0
+        for world in enumerate_possible_worlds(graph):
+            if is_subgraph_similar(query, world.graph, distance_threshold):
+                total += world.probability
+        return min(1.0, total)

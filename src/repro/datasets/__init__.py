@@ -1,0 +1,18 @@
+"""Dataset generators: the synthetic STRING/PPI substitute, query workloads,
+and the road / social network scenarios from the paper's introduction."""
+
+from repro.datasets.synthetic_ppi import PPIDatabase, PPIDatasetConfig, generate_ppi_database
+from repro.datasets.queries import extract_query, generate_query_workload, QueryWorkload
+from repro.datasets.road_network import generate_road_network
+from repro.datasets.social_network import generate_social_network
+
+__all__ = [
+    "PPIDatabase",
+    "PPIDatasetConfig",
+    "generate_ppi_database",
+    "extract_query",
+    "generate_query_workload",
+    "QueryWorkload",
+    "generate_road_network",
+    "generate_social_network",
+]

@@ -1,0 +1,122 @@
+"""Query workload generation (the q50..q250 query sets of Section 6).
+
+The paper's query sets are connected size-``i`` graphs (``i`` edges) extracted
+at random from the deterministic skeletons of the database graphs.  A query
+remembers which data graph (and therefore which organism family) it was
+extracted from, which is the ground truth used by the quality experiments
+(Figures 9(b) and 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.graphs.labeled_graph import LabeledGraph, edge_key
+from repro.graphs.probabilistic_graph import ProbabilisticGraph
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One workload query plus its provenance."""
+
+    query: LabeledGraph
+    source_graph_id: int
+    organism: int | None = None
+
+
+@dataclass
+class QueryWorkload:
+    """A named collection of queries of a common size."""
+
+    size: int
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def queries(self) -> list[LabeledGraph]:
+        return [record.query for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+def extract_query(
+    skeleton: LabeledGraph,
+    num_edges: int,
+    rng: RandomLike = None,
+    name: str | None = None,
+) -> LabeledGraph:
+    """Extract a random connected subgraph with ``num_edges`` edges.
+
+    Grows an edge set by repeatedly adding a random edge adjacent to the
+    current vertex frontier, which keeps the result connected.  Raises
+    :class:`QueryError` when the skeleton has fewer than ``num_edges`` edges.
+    """
+    if num_edges < 1:
+        raise QueryError("queries need at least one edge")
+    if skeleton.num_edges < num_edges:
+        raise QueryError(
+            f"cannot extract a {num_edges}-edge query from a graph with "
+            f"{skeleton.num_edges} edges"
+        )
+    generator = ensure_rng(rng)
+    start_edge = generator.choice(sorted(skeleton.edge_keys(), key=repr))
+    chosen: set = {start_edge}
+    frontier_vertices: set = set(start_edge)
+    while len(chosen) < num_edges:
+        candidates = []
+        for vertex in frontier_vertices:
+            for neighbor in skeleton.neighbors(vertex):
+                key = edge_key(vertex, neighbor)
+                if key not in chosen:
+                    candidates.append(key)
+        if not candidates:
+            break  # connected component exhausted; accept a smaller query
+        pick = generator.choice(sorted(candidates, key=repr))
+        chosen.add(pick)
+        frontier_vertices.update(pick)
+    query = skeleton.subgraph_by_edges(chosen, name=name)
+    # renumber vertices so the query does not leak data-graph identifiers
+    mapping = {vertex: index for index, vertex in enumerate(sorted(query.vertices(), key=repr))}
+    return query.relabel_vertices(mapping)
+
+
+def generate_query_workload(
+    graphs: list[ProbabilisticGraph],
+    query_size: int,
+    num_queries: int,
+    organisms: list[int] | None = None,
+    rng: RandomLike = None,
+) -> QueryWorkload:
+    """Build a workload of ``num_queries`` queries with ``query_size`` edges."""
+    if not graphs:
+        raise QueryError("cannot generate a workload from an empty database")
+    generator = ensure_rng(rng)
+    workload = QueryWorkload(size=query_size)
+    eligible = [
+        index for index, graph in enumerate(graphs) if graph.skeleton.num_edges >= query_size
+    ]
+    if not eligible:
+        raise QueryError(
+            f"no database graph has at least {query_size} edges; "
+            "reduce the query size or enlarge the graphs"
+        )
+    for query_index in range(num_queries):
+        source = generator.choice(eligible)
+        query = extract_query(
+            graphs[source].skeleton,
+            query_size,
+            rng=generator,
+            name=f"q{query_size}-{query_index:03d}",
+        )
+        workload.records.append(
+            QueryRecord(
+                query=query,
+                source_graph_id=source,
+                organism=organisms[source] if organisms is not None else None,
+            )
+        )
+    return workload

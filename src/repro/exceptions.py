@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch one base class.  More specific subclasses communicate which
+subsystem rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples include adding an edge whose endpoints are unknown, querying a
+    missing vertex, or constructing a graph from inconsistent data.
+    """
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class ProbabilityError(ReproError):
+    """Raised for invalid probability values or inconsistent distributions."""
+
+
+class FactorError(ProbabilityError):
+    """Raised for invalid joint probability table / factor operations."""
+
+
+class IndexError_(ReproError):
+    """Raised when the PMI or structural index is used before it is built,
+    or built with inconsistent parameters."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid queries (disconnected query graphs, thresholds out
+    of range, distance larger than the query size, ...)."""
+
+
+class VerificationError(ReproError):
+    """Raised when verification cannot be carried out (for example exact
+    verification requested on a graph that is too large to enumerate)."""

@@ -1,0 +1,30 @@
+"""Graph substrate: labeled deterministic graphs, probabilistic graphs with
+correlated edges, possible-world semantics, generators and serialization."""
+
+from repro.graphs.labeled_graph import Edge, LabeledGraph
+from repro.graphs.neighbor_edges import neighbor_edge_sets, partition_into_neighbor_sets
+from repro.graphs.probabilistic_graph import NeighborEdgeFactor, ProbabilisticGraph
+from repro.graphs.possible_worlds import PossibleWorld, enumerate_possible_worlds
+from repro.graphs.canonical import canonical_form
+from repro.graphs.generators import (
+    random_labeled_graph,
+    random_connected_labeled_graph,
+    attach_independent_probabilities,
+)
+from repro.graphs import io
+
+__all__ = [
+    "Edge",
+    "LabeledGraph",
+    "NeighborEdgeFactor",
+    "ProbabilisticGraph",
+    "PossibleWorld",
+    "enumerate_possible_worlds",
+    "canonical_form",
+    "neighbor_edge_sets",
+    "partition_into_neighbor_sets",
+    "random_labeled_graph",
+    "random_connected_labeled_graph",
+    "attach_independent_probabilities",
+    "io",
+]

@@ -1,0 +1,379 @@
+"""Undirected labeled graphs (Definition 1 of the paper).
+
+A :class:`LabeledGraph` has hashable vertex identifiers, a label per vertex, a
+label per edge, and no parallel edges or self loops.  It is the deterministic
+substrate used for query graphs, features, possible worlds, and the certain
+skeleton ``gc`` of probabilistic graphs.
+
+The implementation is a plain adjacency-dictionary structure.  It favours
+clarity and predictable asymptotics over raw speed: vertex and edge lookups
+are O(1), neighbourhood iteration is O(degree).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+VertexId = Hashable
+Label = Hashable
+
+
+def edge_key(u: VertexId, v: VertexId) -> tuple[VertexId, VertexId]:
+    """Return the canonical (sorted) key for an undirected edge.
+
+    Vertices are ordered by ``repr`` so that heterogeneous vertex identifier
+    types still produce a deterministic order.
+    """
+    if u == v:
+        raise GraphError(f"self loops are not supported: ({u!r}, {v!r})")
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected labeled edge between vertices ``u`` and ``v``."""
+
+    u: VertexId
+    v: VertexId
+    label: Label = None
+
+    def key(self) -> tuple[VertexId, VertexId]:
+        """The canonical undirected key of this edge."""
+        return edge_key(self.u, self.v)
+
+    def endpoints(self) -> frozenset:
+        """The endpoints as a frozenset (order independent)."""
+        return frozenset((self.u, self.v))
+
+    def other(self, vertex: VertexId) -> VertexId:
+        """The endpoint that is not ``vertex``."""
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise VertexNotFoundError(vertex)
+
+
+class LabeledGraph:
+    """A simple undirected graph with labels on vertices and edges.
+
+    Parameters
+    ----------
+    name:
+        Optional identifier, used by the database layer and serialization.
+
+    Examples
+    --------
+    >>> g = LabeledGraph(name="toy")
+    >>> g.add_vertex(1, "a")
+    >>> g.add_vertex(2, "b")
+    >>> g.add_edge(1, 2, "x")
+    >>> g.num_vertices, g.num_edges
+    (2, 1)
+    >>> g.vertex_label(1)
+    'a'
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name
+        self._vertex_labels: dict[VertexId, Label] = {}
+        self._adjacency: dict[VertexId, dict[VertexId, Label]] = {}
+        self._edge_labels: dict[tuple[VertexId, VertexId], Label] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        vertex_labels: Mapping[VertexId, Label],
+        edges: Iterable[tuple[VertexId, VertexId, Label]] | Iterable[tuple[VertexId, VertexId]],
+        name: str | None = None,
+    ) -> "LabeledGraph":
+        """Build a graph from a vertex-label mapping and an edge list.
+
+        Each edge may be a ``(u, v)`` pair (label ``None``) or a
+        ``(u, v, label)`` triple.
+        """
+        graph = cls(name=name)
+        for vertex, label in vertex_labels.items():
+            graph.add_vertex(vertex, label)
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                label = None
+            else:
+                u, v, label = edge  # type: ignore[misc]
+            graph.add_edge(u, v, label)
+        return graph
+
+    def copy(self, name: str | None = None) -> "LabeledGraph":
+        """Return a deep-enough copy (labels are shared, containers are not)."""
+        clone = LabeledGraph(name=self.name if name is None else name)
+        clone._vertex_labels = dict(self._vertex_labels)
+        clone._adjacency = {v: dict(nbrs) for v, nbrs in self._adjacency.items()}
+        clone._edge_labels = dict(self._edge_labels)
+        return clone
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: VertexId, label: Label = None) -> None:
+        """Add ``vertex`` with ``label``; re-adding overwrites the label."""
+        if vertex not in self._vertex_labels:
+            self._adjacency[vertex] = {}
+        self._vertex_labels[vertex] = label
+
+    def add_edge(self, u: VertexId, v: VertexId, label: Label = None) -> None:
+        """Add the undirected edge (u, v) with ``label``.
+
+        Both endpoints must already exist.  Adding an existing edge
+        overwrites its label.
+        """
+        if u not in self._vertex_labels:
+            raise VertexNotFoundError(u)
+        if v not in self._vertex_labels:
+            raise VertexNotFoundError(v)
+        key = edge_key(u, v)
+        self._adjacency[u][v] = label
+        self._adjacency[v][u] = label
+        self._edge_labels[key] = label
+
+    def remove_edge(self, u: VertexId, v: VertexId) -> None:
+        """Remove the undirected edge (u, v)."""
+        key = edge_key(u, v)
+        if key not in self._edge_labels:
+            raise EdgeNotFoundError(u, v)
+        del self._edge_labels[key]
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+
+    def remove_vertex(self, vertex: VertexId) -> None:
+        """Remove ``vertex`` and every incident edge."""
+        if vertex not in self._vertex_labels:
+            raise VertexNotFoundError(vertex)
+        for neighbor in list(self._adjacency[vertex]):
+            self.remove_edge(vertex, neighbor)
+        del self._adjacency[vertex]
+        del self._vertex_labels[vertex]
+
+    def remove_isolated_vertices(self) -> list[VertexId]:
+        """Remove all vertices with degree zero; return the removed ids."""
+        isolated = [v for v in self._vertex_labels if not self._adjacency[v]]
+        for vertex in isolated:
+            del self._adjacency[vertex]
+            del self._vertex_labels[vertex]
+        return isolated
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_labels)
+
+    def vertices(self) -> Iterator[VertexId]:
+        """Iterate over vertex identifiers."""
+        return iter(self._vertex_labels)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as :class:`Edge` objects."""
+        for (u, v), label in self._edge_labels.items():
+            yield Edge(u, v, label)
+
+    def edge_keys(self) -> Iterator[tuple[VertexId, VertexId]]:
+        """Iterate over canonical edge keys."""
+        return iter(self._edge_labels)
+
+    def has_vertex(self, vertex: VertexId) -> bool:
+        return vertex in self._vertex_labels
+
+    def has_edge(self, u: VertexId, v: VertexId) -> bool:
+        try:
+            return edge_key(u, v) in self._edge_labels
+        except GraphError:
+            return False
+
+    def vertex_label(self, vertex: VertexId) -> Label:
+        try:
+            return self._vertex_labels[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def edge_label(self, u: VertexId, v: VertexId) -> Label:
+        key = edge_key(u, v)
+        try:
+            return self._edge_labels[key]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
+        try:
+            return iter(self._adjacency[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: VertexId) -> int:
+        try:
+            return len(self._adjacency[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def incident_edges(self, vertex: VertexId) -> list[Edge]:
+        """All edges incident to ``vertex``."""
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(vertex)
+        return [Edge(vertex, nbr, label) for nbr, label in self._adjacency[vertex].items()]
+
+    def vertex_label_counts(self) -> Counter:
+        """Multiset of vertex labels (used by quick filters)."""
+        return Counter(self._vertex_labels.values())
+
+    def edge_label_counts(self) -> Counter:
+        """Multiset of edge labels (used by quick filters)."""
+        return Counter(self._edge_labels.values())
+
+    def edge_signature_counts(self) -> Counter:
+        """Multiset of (sorted endpoint labels, edge label) signatures.
+
+        This is a stronger quick filter than raw label counts: a query edge
+        signature missing from the target cannot possibly be matched.
+        """
+        signatures: Counter = Counter()
+        for (u, v), label in self._edge_labels.items():
+            lu, lv = self._vertex_labels[u], self._vertex_labels[v]
+            pair = tuple(sorted((repr(lu), repr(lv))))
+            signatures[(pair, label)] += 1
+        return signatures
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """True for the empty graph and for connected graphs."""
+        if self.num_vertices == 0:
+            return True
+        start = next(iter(self._vertex_labels))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return len(seen) == self.num_vertices
+
+    def connected_components(self) -> list[set]:
+        """Vertex sets of the connected components."""
+        remaining = set(self._vertex_labels)
+        components: list[set] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            queue = deque([start])
+            while queue:
+                current = queue.popleft()
+                for neighbor in self._adjacency[current]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        queue.append(neighbor)
+            components.append(seen)
+            remaining -= seen
+        return components
+
+    def triangles(self) -> list[tuple[VertexId, VertexId, VertexId]]:
+        """Enumerate all triangles as sorted vertex triples."""
+        found: set[tuple] = set()
+        for u in self._adjacency:
+            nbrs_u = self._adjacency[u]
+            for v in nbrs_u:
+                for w in self._adjacency[v]:
+                    if w != u and w in nbrs_u:
+                        triple = tuple(sorted((u, v, w), key=repr))
+                        found.add(triple)
+        return sorted(found, key=repr)
+
+    def subgraph_by_edges(
+        self, edge_keys: Iterable[tuple[VertexId, VertexId]], name: str | None = None
+    ) -> "LabeledGraph":
+        """Return the subgraph induced by the given edges.
+
+        Vertices are exactly the endpoints of the chosen edges; labels are
+        inherited.
+        """
+        sub = LabeledGraph(name=name)
+        for u, v in edge_keys:
+            key = edge_key(u, v)
+            if key not in self._edge_labels:
+                raise EdgeNotFoundError(u, v)
+            for vertex in key:
+                if not sub.has_vertex(vertex):
+                    sub.add_vertex(vertex, self._vertex_labels[vertex])
+            sub.add_edge(key[0], key[1], self._edge_labels[key])
+        return sub
+
+    def subgraph_by_vertices(
+        self, vertex_ids: Iterable[VertexId], name: str | None = None
+    ) -> "LabeledGraph":
+        """Return the vertex-induced subgraph on ``vertex_ids``."""
+        keep = set(vertex_ids)
+        sub = LabeledGraph(name=name)
+        for vertex in keep:
+            sub.add_vertex(vertex, self.vertex_label(vertex))
+        for (u, v), label in self._edge_labels.items():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, label)
+        return sub
+
+    def relabel_vertices(self, mapping: Mapping[VertexId, VertexId]) -> "LabeledGraph":
+        """Return a copy with vertex identifiers renamed through ``mapping``.
+
+        Identifiers not present in ``mapping`` are kept.  The mapping must be
+        injective on the graph's vertices.
+        """
+        new_ids = [mapping.get(v, v) for v in self._vertex_labels]
+        if len(set(new_ids)) != len(new_ids):
+            raise GraphError("vertex relabeling mapping is not injective")
+        renamed = LabeledGraph(name=self.name)
+        for vertex, label in self._vertex_labels.items():
+            renamed.add_vertex(mapping.get(vertex, vertex), label)
+        for (u, v), label in self._edge_labels.items():
+            renamed.add_edge(mapping.get(u, u), mapping.get(v, v), label)
+        return renamed
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._vertex_labels
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality on identical vertex ids, labels and edges."""
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return (
+            self._vertex_labels == other._vertex_labels
+            and self._edge_labels == other._edge_labels
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("LabeledGraph is mutable and therefore unhashable")
+
+    def __repr__(self) -> str:
+        label = self.name if self.name is not None else "unnamed"
+        return f"LabeledGraph({label!r}, |V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,108 @@
+"""Possible-world semantics (Definition 3 and Equation 1).
+
+Exact enumeration of every possible world of a probabilistic graph, with its
+probability.  Enumeration is exponential in the number of uncertain edges
+(that is the whole point of the paper), so it is guarded by a hard limit and
+intended for small graphs, ground-truth computation in tests, and the exact
+baselines of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+
+from repro.exceptions import VerificationError
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.probabilistic_graph import EdgeKey, ProbabilisticGraph
+
+DEFAULT_MAX_EDGES = 22
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One possible world: its edge assignment, graph and probability."""
+
+    assignment: tuple[tuple[EdgeKey, int], ...]
+    graph: LabeledGraph
+    probability: float
+
+    def assignment_dict(self) -> dict[EdgeKey, int]:
+        return dict(self.assignment)
+
+    def present_edges(self) -> frozenset:
+        return frozenset(key for key, value in self.assignment if value == 1)
+
+
+def enumerate_possible_worlds(
+    graph: ProbabilisticGraph,
+    normalize: bool = True,
+    max_edges: int = DEFAULT_MAX_EDGES,
+    skip_zero: bool = True,
+) -> list[PossibleWorld]:
+    """Enumerate all possible worlds of ``graph`` with their probabilities.
+
+    Parameters
+    ----------
+    graph:
+        The probabilistic graph.
+    normalize:
+        When True (default) the returned probabilities are rescaled to sum to
+        exactly 1.  This only matters when factors overlap on shared edges;
+        for partitioned graphs the raw product weights already sum to 1.
+    max_edges:
+        Safety limit: enumeration of more than ``max_edges`` uncertain edges
+        raises :class:`VerificationError` instead of silently exploding.
+    skip_zero:
+        Drop worlds with probability zero from the result.
+
+    Returns
+    -------
+    list[PossibleWorld]
+        Worlds sorted by decreasing probability (ties broken by assignment).
+    """
+    edge_vars = graph.edge_variables()
+    if len(edge_vars) > max_edges:
+        raise VerificationError(
+            f"refusing to enumerate 2**{len(edge_vars)} possible worlds; "
+            f"limit is 2**{max_edges} (raise max_edges explicitly if you really want this)"
+        )
+    worlds: list[PossibleWorld] = []
+    total = 0.0
+    for values in iter_product((0, 1), repeat=len(edge_vars)):
+        assignment = dict(zip(edge_vars, values))
+        weight = graph.world_weight(assignment)
+        total += weight
+        if skip_zero and weight == 0.0:
+            continue
+        worlds.append(
+            PossibleWorld(
+                assignment=tuple(sorted(assignment.items(), key=lambda kv: repr(kv[0]))),
+                graph=graph.world_graph(assignment),
+                probability=weight,
+            )
+        )
+    if normalize and total > 0 and abs(total - 1.0) > 1e-12:
+        worlds = [
+            PossibleWorld(w.assignment, w.graph, w.probability / total) for w in worlds
+        ]
+    worlds.sort(key=lambda w: (-w.probability, repr(w.assignment)))
+    return worlds
+
+
+def total_world_mass(graph: ProbabilisticGraph, max_edges: int = DEFAULT_MAX_EDGES) -> float:
+    """Sum of raw (unnormalized) product weights over all possible worlds.
+
+    Equals 1.0 exactly for edge-partitioned probabilistic graphs; used in
+    tests to validate the measure and in diagnostics for overlapping-factor
+    graphs.
+    """
+    edge_vars = graph.edge_variables()
+    if len(edge_vars) > max_edges:
+        raise VerificationError(
+            f"refusing to sum over 2**{len(edge_vars)} possible worlds (limit 2**{max_edges})"
+        )
+    total = 0.0
+    for values in iter_product((0, 1), repeat=len(edge_vars)):
+        total += graph.world_weight(dict(zip(edge_vars, values)))
+    return total

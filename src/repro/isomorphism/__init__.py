@@ -1,0 +1,26 @@
+"""Subgraph isomorphism machinery: VF2-style matching, embedding
+enumeration, maximum common subgraph and subgraph distance."""
+
+from repro.isomorphism.vf2 import (
+    VF2Matcher,
+    is_subgraph_isomorphic,
+    find_isomorphism_mapping,
+)
+from repro.isomorphism.embeddings import Embedding, find_embeddings, count_embeddings
+from repro.isomorphism.mcs import (
+    subgraph_distance,
+    is_subgraph_similar,
+    maximum_common_subgraph_size,
+)
+
+__all__ = [
+    "VF2Matcher",
+    "is_subgraph_isomorphic",
+    "find_isomorphism_mapping",
+    "Embedding",
+    "find_embeddings",
+    "count_embeddings",
+    "subgraph_distance",
+    "is_subgraph_similar",
+    "maximum_common_subgraph_size",
+]

@@ -1,0 +1,110 @@
+"""Embedding enumeration (the ``Ef`` sets of Section 4.1).
+
+An *embedding* of feature ``f`` in graph ``gc`` is the subgraph of ``gc``
+that one subgraph-isomorphism mapping covers (Definition 5).  Distinct
+mappings that cover the same edge set (automorphisms of the feature) are the
+same embedding, so embeddings are deduplicated by their edge-key sets.
+
+Embeddings drive both bound computations of the PMI index: the lower bound
+uses disjoint embeddings (Equation 17), the upper bound uses embedding cuts
+derived from all embeddings (Equation 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.labeled_graph import LabeledGraph, VertexId, edge_key
+from repro.isomorphism.vf2 import VF2Matcher
+
+EdgeKey = tuple[VertexId, VertexId]
+
+DEFAULT_EMBEDDING_LIMIT = 200
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """One embedding: the covered target edges and vertices."""
+
+    edges: frozenset  # frozenset[EdgeKey]
+    vertices: frozenset
+
+    def overlaps(self, other: "Embedding") -> bool:
+        """True when the two embeddings share at least one edge.
+
+        The paper's disjointness notion for Equation 17 is on *common parts
+        (edges)*; vertex sharing alone does not make embeddings overlap.
+        """
+        return bool(self.edges & other.edges)
+
+    def is_edge_disjoint(self, other: "Embedding") -> bool:
+        return not self.overlaps(other)
+
+    @property
+    def size(self) -> int:
+        return len(self.edges)
+
+
+def find_embeddings(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    limit: int | None = DEFAULT_EMBEDDING_LIMIT,
+    label_sensitive: bool = True,
+) -> list[Embedding]:
+    """All distinct embeddings of ``pattern`` in ``target``.
+
+    Parameters
+    ----------
+    limit:
+        Cap on the number of *mappings* explored (not embeddings); features
+        with pathological automorphism counts are truncated rather than
+        allowed to blow up index construction.  ``None`` removes the cap.
+
+    Returns
+    -------
+    list[Embedding]
+        Sorted deterministically (by repr of the edge set).
+    """
+    if pattern.num_edges == 0:
+        return []
+    matcher = VF2Matcher(pattern, target, label_sensitive=label_sensitive)
+    mapping_limit = None if limit is None else max(limit * 4, limit)
+    seen: set[frozenset] = set()
+    embeddings: list[Embedding] = []
+    for mapping in matcher.all_mappings(limit=mapping_limit):
+        edge_set = frozenset(
+            edge_key(mapping[u], mapping[v]) for u, v in pattern.edge_keys()
+        )
+        if edge_set in seen:
+            continue
+        seen.add(edge_set)
+        vertex_set = frozenset(mapping.values())
+        embeddings.append(Embedding(edges=edge_set, vertices=vertex_set))
+        if limit is not None and len(embeddings) >= limit:
+            break
+    embeddings.sort(key=lambda e: repr(sorted(e.edges, key=repr)))
+    return embeddings
+
+
+def count_embeddings(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    limit: int | None = DEFAULT_EMBEDDING_LIMIT,
+    label_sensitive: bool = True,
+) -> int:
+    """Number of distinct embeddings (capped at ``limit``)."""
+    return len(find_embeddings(pattern, target, limit=limit, label_sensitive=label_sensitive))
+
+
+def maximal_disjoint_embeddings(embeddings: list[Embedding]) -> list[Embedding]:
+    """A greedy maximal set of pairwise edge-disjoint embeddings.
+
+    Used by the feature-selection frequency measure (``|IN| / |Ef|`` in
+    Section 4.2) where an exact maximum independent set would be overkill;
+    the exact maximum-weight variant lives in :mod:`repro.pmi.embedding_graph`.
+    """
+    chosen: list[Embedding] = []
+    for embedding in sorted(embeddings, key=lambda e: (len(e.edges), repr(sorted(e.edges, key=repr)))):
+        if all(embedding.is_edge_disjoint(existing) for existing in chosen):
+            chosen.append(embedding)
+    return chosen

@@ -1,0 +1,226 @@
+"""Labeled subgraph isomorphism in the style of VF2 (Definition 5, [10]).
+
+The paper uses VF2 for every ``rq ⊆iso f`` / ``f ⊆iso gc`` test during
+pruning and index construction.  This module implements a backtracking
+matcher for *subgraph monomorphism*: an injective mapping of the pattern's
+vertices into the target such that every pattern edge maps onto a target edge
+with matching vertex and edge labels.  The target may contain additional
+edges among the mapped vertices (this is the paper's Definition 5, which does
+not require an induced match).
+
+Pruning rules:
+
+* vertex label equality and degree feasibility,
+* consistency of already-mapped neighbours (the core VF2 feasibility rule),
+* a global quick reject on vertex/edge label multisets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.graphs.labeled_graph import LabeledGraph, VertexId
+
+MatchCallback = Callable[[dict[VertexId, VertexId]], bool]
+
+
+class VF2Matcher:
+    """Reusable matcher for one (pattern, target) pair.
+
+    Parameters
+    ----------
+    pattern:
+        The smaller graph to embed.
+    target:
+        The graph to embed into.
+    label_sensitive:
+        When True (default) vertex and edge labels must match exactly; when
+        False only the structure is matched.
+    """
+
+    def __init__(
+        self,
+        pattern: LabeledGraph,
+        target: LabeledGraph,
+        label_sensitive: bool = True,
+    ) -> None:
+        self.pattern = pattern
+        self.target = target
+        self.label_sensitive = label_sensitive
+        self._pattern_order = self._matching_order()
+        self._targets_by_label: dict[object, list[VertexId]] = {}
+        for vertex in target.vertices():
+            key = target.vertex_label(vertex) if label_sensitive else None
+            self._targets_by_label.setdefault(key, []).append(vertex)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        """True when at least one subgraph isomorphism exists."""
+        if not self._quick_feasible():
+            return False
+        found = False
+
+        def stop_on_first(_mapping: dict) -> bool:
+            nonlocal found
+            found = True
+            return False  # stop enumeration
+
+        self._search({}, stop_on_first)
+        return found
+
+    def first_mapping(self) -> dict[VertexId, VertexId] | None:
+        """One mapping pattern-vertex -> target-vertex, or None."""
+        if not self._quick_feasible():
+            return None
+        result: dict[VertexId, VertexId] | None = None
+
+        def keep_first(mapping: dict) -> bool:
+            nonlocal result
+            result = dict(mapping)
+            return False
+
+        self._search({}, keep_first)
+        return result
+
+    def all_mappings(self, limit: int | None = None) -> list[dict[VertexId, VertexId]]:
+        """All injective mappings (up to ``limit``)."""
+        if not self._quick_feasible():
+            return []
+        mappings: list[dict[VertexId, VertexId]] = []
+
+        def collect(mapping: dict) -> bool:
+            mappings.append(dict(mapping))
+            return limit is None or len(mappings) < limit
+
+        self._search({}, collect)
+        return mappings
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _quick_feasible(self) -> bool:
+        if self.pattern.num_vertices > self.target.num_vertices:
+            return False
+        if self.pattern.num_edges > self.target.num_edges:
+            return False
+        if not self.label_sensitive:
+            return True
+        pattern_vertex_counts = self.pattern.vertex_label_counts()
+        target_vertex_counts = self.target.vertex_label_counts()
+        for label, count in pattern_vertex_counts.items():
+            if target_vertex_counts.get(label, 0) < count:
+                return False
+        pattern_edge_counts = self.pattern.edge_signature_counts()
+        target_edge_counts = self.target.edge_signature_counts()
+        for signature, count in pattern_edge_counts.items():
+            if target_edge_counts.get(signature, 0) < count:
+                return False
+        return True
+
+    def _matching_order(self) -> list[VertexId]:
+        """Connectivity-aware ordering: BFS from the highest-degree vertex of
+        each component, preferring vertices adjacent to already-ordered ones."""
+        order: list[VertexId] = []
+        placed: set[VertexId] = set()
+        remaining = set(self.pattern.vertices())
+        while remaining:
+            start = max(remaining, key=lambda v: (self.pattern.degree(v), repr(v)))
+            frontier = [start]
+            while frontier:
+                # pick the frontier vertex with the most already-placed neighbours
+                frontier.sort(
+                    key=lambda v: (
+                        -sum(1 for n in self.pattern.neighbors(v) if n in placed),
+                        -self.pattern.degree(v),
+                        repr(v),
+                    )
+                )
+                current = frontier.pop(0)
+                if current in placed:
+                    continue
+                order.append(current)
+                placed.add(current)
+                remaining.discard(current)
+                for neighbor in self.pattern.neighbors(current):
+                    if neighbor not in placed and neighbor not in frontier:
+                        frontier.append(neighbor)
+        return order
+
+    def _candidates(
+        self, pattern_vertex: VertexId, mapping: dict[VertexId, VertexId]
+    ) -> list[VertexId]:
+        """Target candidates for ``pattern_vertex`` given the partial mapping."""
+        used = set(mapping.values())
+        mapped_neighbors = [n for n in self.pattern.neighbors(pattern_vertex) if n in mapping]
+        if mapped_neighbors:
+            # candidates must be neighbours of every mapped pattern-neighbour's image
+            candidate_sets = []
+            for neighbor in mapped_neighbors:
+                image = mapping[neighbor]
+                candidate_sets.append(set(self.target.neighbors(image)))
+            candidates = set.intersection(*candidate_sets) - used
+        else:
+            key = (
+                self.pattern.vertex_label(pattern_vertex) if self.label_sensitive else None
+            )
+            candidates = set(self._targets_by_label.get(key, [])) - used
+        return sorted(candidates, key=repr)
+
+    def _feasible(
+        self,
+        pattern_vertex: VertexId,
+        target_vertex: VertexId,
+        mapping: dict[VertexId, VertexId],
+    ) -> bool:
+        if self.label_sensitive and self.pattern.vertex_label(
+            pattern_vertex
+        ) != self.target.vertex_label(target_vertex):
+            return False
+        if self.pattern.degree(pattern_vertex) > self.target.degree(target_vertex):
+            return False
+        for neighbor in self.pattern.neighbors(pattern_vertex):
+            if neighbor not in mapping:
+                continue
+            image = mapping[neighbor]
+            if not self.target.has_edge(target_vertex, image):
+                return False
+            if self.label_sensitive and self.pattern.edge_label(
+                pattern_vertex, neighbor
+            ) != self.target.edge_label(target_vertex, image):
+                return False
+        return True
+
+    def _search(self, mapping: dict[VertexId, VertexId], callback: MatchCallback) -> bool:
+        """Depth-first extension of ``mapping``.  Returns False to abort."""
+        if len(mapping) == self.pattern.num_vertices:
+            return callback(mapping)
+        pattern_vertex = self._pattern_order[len(mapping)]
+        for target_vertex in self._candidates(pattern_vertex, mapping):
+            if not self._feasible(pattern_vertex, target_vertex, mapping):
+                continue
+            mapping[pattern_vertex] = target_vertex
+            keep_going = self._search(mapping, callback)
+            del mapping[pattern_vertex]
+            if not keep_going:
+                return False
+        return True
+
+
+def is_subgraph_isomorphic(
+    pattern: LabeledGraph, target: LabeledGraph, label_sensitive: bool = True
+) -> bool:
+    """``pattern ⊆iso target`` (Definition 5)."""
+    if pattern.num_vertices == 0:
+        return True
+    return VF2Matcher(pattern, target, label_sensitive=label_sensitive).exists()
+
+
+def find_isomorphism_mapping(
+    pattern: LabeledGraph, target: LabeledGraph, label_sensitive: bool = True
+) -> dict[VertexId, VertexId] | None:
+    """One witnessing mapping for ``pattern ⊆iso target``, or None."""
+    if pattern.num_vertices == 0:
+        return {}
+    return VF2Matcher(pattern, target, label_sensitive=label_sensitive).first_mapping()

@@ -1,0 +1,294 @@
+"""Lower and upper bounds of the subgraph isomorphism probability (SIP).
+
+For a feature ``f`` and a probabilistic graph ``g`` the SIP is
+``Pr(f ⊆iso g)`` (Definition 6) — #P-complete to compute exactly.  Section 4.1
+of the paper derives:
+
+* ``LowerB(f) = 1 - Π_{i∈IN} (1 - Pr(Bfi | COR))``  (Equation 17), where
+  ``IN`` is a set of pairwise edge-disjoint embeddings and ``COR`` is the
+  event that every embedding overlapping ``fi`` is absent;
+* ``UpperB(f) = Π_{i∈IN'} (1 - Pr(Bci | COM))``  (Equation 20), where ``IN'``
+  is a set of pairwise disjoint embedding *cuts* and ``COM`` is the event
+  that every cut overlapping ``ci`` does not materialize.
+
+Both "tightest" variants pick their disjoint sets by solving a maximum-weight
+clique problem (:mod:`repro.pmi.embedding_graph`, :mod:`repro.pmi.cuts`).
+The conditional probabilities are estimated with the paper's Algorithm 3
+(shared-batch Monte Carlo) or computed exactly by possible-world enumeration
+for small graphs (used in tests and the exact baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import VerificationError
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.possible_worlds import enumerate_possible_worlds
+from repro.graphs.probabilistic_graph import ProbabilisticGraph
+from repro.isomorphism.embeddings import Embedding, find_embeddings
+from repro.pmi.cuts import (
+    Cut,
+    best_disjoint_cuts,
+    cuts_are_disjoint,
+    enumerate_embedding_cuts,
+    upper_bound_from_probabilities,
+)
+from repro.pmi.embedding_graph import (
+    best_disjoint_embeddings,
+    lower_bound_from_probabilities,
+)
+from repro.probability.sampling import WorldSampler, monte_carlo_sample_size
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class BoundConfig:
+    """Tuning knobs for SIP bound computation.
+
+    Attributes
+    ----------
+    embedding_limit:
+        Cap on enumerated embeddings per (feature, graph) pair.
+    max_cuts, max_cut_size:
+        Caps for minimal embedding-cut enumeration.
+    num_samples:
+        Monte-Carlo sample count for Algorithm 3; ``None`` uses the paper's
+        ``(4 ln(2/ξ)) / τ²`` rule with ``xi``/``tau``.
+    xi, tau:
+        Monte-Carlo confidence/accuracy parameters.
+    method:
+        ``"sampling"`` (Algorithm 3) or ``"exact"`` (possible-world
+        enumeration, small graphs only).
+    optimize:
+        True computes the tightest bounds via maximum-weight cliques
+        (OPT-SIPBound in the paper's experiments); False uses a single
+        arbitrary embedding / cut (the plain SIPBound baseline).
+    """
+
+    embedding_limit: int = 64
+    max_cuts: int = 32
+    max_cut_size: int = 4
+    num_samples: int | None = 200
+    xi: float = 0.05
+    tau: float = 0.1
+    method: str = "sampling"
+    optimize: bool = True
+
+    def resolved_sample_count(self) -> int:
+        if self.num_samples is not None:
+            return self.num_samples
+        return monte_carlo_sample_size(self.xi, self.tau)
+
+
+@dataclass(frozen=True)
+class SipBounds:
+    """The PMI cell for one (feature, graph) pair."""
+
+    lower: float
+    upper: float
+    num_embeddings: int
+    num_cuts: int
+    chosen_embeddings: tuple[int, ...] = field(default=())
+    chosen_cuts: tuple[int, ...] = field(default=())
+
+    def is_empty(self) -> bool:
+        """True when the feature does not occur in the graph at all."""
+        return self.num_embeddings == 0
+
+    def as_pair(self) -> tuple[float, float]:
+        return (self.lower, self.upper)
+
+
+def compute_sip_bounds(
+    feature: LabeledGraph,
+    graph: ProbabilisticGraph,
+    config: BoundConfig | None = None,
+    rng: RandomLike = None,
+) -> SipBounds:
+    """Compute ``(LowerB(f), UpperB(f))`` for feature ``f`` against ``g``."""
+    cfg = config or BoundConfig()
+    generator = ensure_rng(rng)
+    embeddings = find_embeddings(feature, graph.skeleton, limit=cfg.embedding_limit)
+    if not embeddings:
+        return SipBounds(lower=0.0, upper=0.0, num_embeddings=0, num_cuts=0)
+
+    cuts = enumerate_embedding_cuts(
+        embeddings, max_cuts=cfg.max_cuts, max_cut_size=cfg.max_cut_size
+    )
+
+    if cfg.method == "exact":
+        embedding_probs, cut_probs = _exact_conditionals(graph, embeddings, cuts)
+    elif cfg.method == "sampling":
+        embedding_probs, cut_probs = _sampled_conditionals(
+            graph, embeddings, cuts, cfg, generator
+        )
+    else:
+        raise ValueError(f"unknown bound method {cfg.method!r}")
+
+    if cfg.optimize:
+        chosen_embeddings, lower = best_disjoint_embeddings(embeddings, embedding_probs)
+        chosen_cuts, upper = best_disjoint_cuts(cuts, cut_probs)
+    else:
+        # plain SIPBound: first embedding, then greedily add disjoint ones
+        chosen_embeddings = _first_fit_disjoint_embeddings(embeddings)
+        lower = lower_bound_from_probabilities(
+            [embedding_probs[i] for i in chosen_embeddings]
+        )
+        chosen_cuts = _first_fit_disjoint_cuts(cuts)
+        upper = (
+            upper_bound_from_probabilities([cut_probs[i] for i in chosen_cuts])
+            if chosen_cuts
+            else 1.0
+        )
+
+    lower = min(1.0, max(0.0, lower))
+    upper = min(1.0, max(lower, upper))  # keep the interval consistent
+    return SipBounds(
+        lower=lower,
+        upper=upper,
+        num_embeddings=len(embeddings),
+        num_cuts=len(cuts),
+        chosen_embeddings=tuple(chosen_embeddings),
+        chosen_cuts=tuple(chosen_cuts),
+    )
+
+
+# ----------------------------------------------------------------------
+# conditional probability estimation
+# ----------------------------------------------------------------------
+def _sampled_conditionals(
+    graph: ProbabilisticGraph,
+    embeddings: list[Embedding],
+    cuts: list[Cut],
+    cfg: BoundConfig,
+    rng,
+) -> tuple[list[float], list[float]]:
+    """Algorithm 3 with one shared world batch for every embedding and cut."""
+    sampler = WorldSampler(graph, rng=rng)
+    num_samples = cfg.resolved_sample_count()
+    worlds = [sampler.sample_present_edges() for _ in range(num_samples)]
+
+    overlapping = _overlapping_embeddings(embeddings)
+    embedding_probs: list[float] = []
+    for index, embedding in enumerate(embeddings):
+        others = overlapping[index]
+        joint = 0
+        conditioning = 0
+        for present in worlds:
+            none_overlapping = all(not (embeddings[j].edges <= present) for j in others)
+            if none_overlapping:
+                conditioning += 1
+                if embedding.edges <= present:
+                    joint += 1
+        embedding_probs.append(joint / conditioning if conditioning else 0.0)
+
+    overlapping_cuts = _overlapping_cuts(cuts)
+    cut_probs: list[float] = []
+    for index, cut in enumerate(cuts):
+        others = overlapping_cuts[index]
+        joint = 0
+        conditioning = 0
+        for present in worlds:
+            # a cut "materializes" when every one of its edges is absent
+            none_overlapping = all(cuts[j] & present for j in others)
+            if none_overlapping:
+                conditioning += 1
+                if not (cut & present):
+                    joint += 1
+        cut_probs.append(joint / conditioning if conditioning else 0.0)
+    return embedding_probs, cut_probs
+
+
+def _exact_conditionals(
+    graph: ProbabilisticGraph,
+    embeddings: list[Embedding],
+    cuts: list[Cut],
+    max_edges: int = 20,
+) -> tuple[list[float], list[float]]:
+    """Exact conditional probabilities by possible-world enumeration."""
+    if graph.num_edges > max_edges:
+        raise VerificationError(
+            f"exact bound computation limited to {max_edges} uncertain edges; "
+            f"graph has {graph.num_edges}"
+        )
+    worlds = enumerate_possible_worlds(graph)
+    weighted = [(w.present_edges(), w.probability) for w in worlds]
+
+    overlapping = _overlapping_embeddings(embeddings)
+    embedding_probs: list[float] = []
+    for index, embedding in enumerate(embeddings):
+        others = overlapping[index]
+        joint = 0.0
+        conditioning = 0.0
+        for present, probability in weighted:
+            if all(not (embeddings[j].edges <= present) for j in others):
+                conditioning += probability
+                if embedding.edges <= present:
+                    joint += probability
+        embedding_probs.append(joint / conditioning if conditioning > 0 else 0.0)
+
+    overlapping_cuts = _overlapping_cuts(cuts)
+    cut_probs: list[float] = []
+    for index, cut in enumerate(cuts):
+        others = overlapping_cuts[index]
+        joint = 0.0
+        conditioning = 0.0
+        for present, probability in weighted:
+            if all(cuts[j] & present for j in others):
+                conditioning += probability
+                if not (cut & present):
+                    joint += probability
+        cut_probs.append(joint / conditioning if conditioning > 0 else 0.0)
+    return embedding_probs, cut_probs
+
+
+def exact_sip(graph: ProbabilisticGraph, feature: LabeledGraph, max_edges: int = 20) -> float:
+    """Exact ``Pr(f ⊆iso g)`` by possible-world enumeration (tests/baselines)."""
+    if graph.num_edges > max_edges:
+        raise VerificationError(
+            f"exact SIP limited to {max_edges} uncertain edges; graph has {graph.num_edges}"
+        )
+    embeddings = find_embeddings(feature, graph.skeleton, limit=None)
+    if not embeddings:
+        return 0.0
+    total = 0.0
+    for world in enumerate_possible_worlds(graph):
+        present = world.present_edges()
+        if any(embedding.edges <= present for embedding in embeddings):
+            total += world.probability
+    return total
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _overlapping_embeddings(embeddings: list[Embedding]) -> list[list[int]]:
+    """For each embedding, the indices of embeddings sharing an edge with it."""
+    result: list[list[int]] = []
+    for i, embedding in enumerate(embeddings):
+        result.append(
+            [j for j, other in enumerate(embeddings) if j != i and embedding.overlaps(other)]
+        )
+    return result
+
+
+def _overlapping_cuts(cuts: list[Cut]) -> list[list[int]]:
+    """For each cut, the indices of cuts sharing an edge with it."""
+    result: list[list[int]] = []
+    for i, cut in enumerate(cuts):
+        result.append(
+            [j for j, other in enumerate(cuts) if j != i and not cuts_are_disjoint(cut, other)]
+        )
+    return result
+
+
+def _first_fit_disjoint_embeddings(embeddings: list[Embedding]) -> list[int]:
+    """Non-optimized selection (plain SIPBound): keep only the first embedding,
+    which is deliberately looser than the maximum-weight-clique choice."""
+    return [0] if embeddings else []
+
+
+def _first_fit_disjoint_cuts(cuts: list[Cut]) -> list[int]:
+    """Non-optimized cut selection (plain SIPBound): first cut only."""
+    return [0] if cuts else []

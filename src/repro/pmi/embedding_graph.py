@@ -1,0 +1,94 @@
+"""The embedding compatibility graph ``fG`` (Section 4.1.1, Figure 7).
+
+Nodes are the embeddings of a feature ``f`` in a probabilistic graph's
+skeleton; two nodes are linked when the embeddings are edge-disjoint; node
+weights are ``-ln(1 - Pr(Bfi | COR))``.  A maximum-weight clique of ``fG``
+with total weight ``v`` yields the tightest lower bound
+``LowerB(f) = 1 - e^{-v}`` of Equation 17.
+
+This module builds ``fG`` and selects the best disjoint embedding set; the
+conditional probabilities themselves are estimated in
+:mod:`repro.pmi.bounds`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.isomorphism.embeddings import Embedding
+from repro.pmi.max_clique import maximum_weight_clique
+
+# Probabilities are clamped away from 1.0 so that -ln(1 - p) stays finite;
+# an embedding that is "certain" still contributes a very large finite weight.
+PROBABILITY_CLAMP = 1e-12
+
+
+def disjointness_weight(probability: float) -> float:
+    """Node weight ``-ln(1 - p)`` with clamping to keep the value finite."""
+    p = min(1.0 - PROBABILITY_CLAMP, max(0.0, probability))
+    return -math.log(1.0 - p)
+
+
+def build_embedding_graph(
+    embeddings: Sequence[Embedding],
+    probabilities: Sequence[float],
+) -> tuple[dict[int, set], dict[int, float]]:
+    """Build the embedding graph ``fG``.
+
+    Parameters
+    ----------
+    embeddings:
+        The embeddings ``Ef`` of a feature in one data graph.
+    probabilities:
+        ``Pr(Bfi | COR)`` for each embedding, index-aligned with
+        ``embeddings``.
+
+    Returns
+    -------
+    (adjacency, weights):
+        Node identifiers are embedding indices; adjacency links edge-disjoint
+        embeddings; weights are ``-ln(1 - p_i)``.
+    """
+    if len(embeddings) != len(probabilities):
+        raise ValueError("embeddings and probabilities must be index-aligned")
+    adjacency: dict[int, set] = {i: set() for i in range(len(embeddings))}
+    for i in range(len(embeddings)):
+        for j in range(i + 1, len(embeddings)):
+            if embeddings[i].is_edge_disjoint(embeddings[j]):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    weights = {i: disjointness_weight(p) for i, p in enumerate(probabilities)}
+    return adjacency, weights
+
+
+def best_disjoint_embeddings(
+    embeddings: Sequence[Embedding],
+    probabilities: Sequence[float],
+) -> tuple[list[int], float]:
+    """The maximum-weight clique of ``fG`` and the implied lower bound.
+
+    Returns
+    -------
+    (indices, lower_bound):
+        The selected embedding indices and ``1 - e^{-v}`` where ``v`` is the
+        clique weight.
+    """
+    if not embeddings:
+        return [], 0.0
+    adjacency, weights = build_embedding_graph(embeddings, probabilities)
+    clique, weight = maximum_weight_clique(adjacency, weights)
+    lower_bound = 1.0 - math.exp(-weight)
+    return clique, min(1.0, max(0.0, lower_bound))
+
+
+def lower_bound_from_probabilities(probabilities: Mapping[int, float] | Sequence[float]) -> float:
+    """``1 - Π (1 - p_i)`` for an already-chosen disjoint set (Equation 17)."""
+    if isinstance(probabilities, Mapping):
+        values = list(probabilities.values())
+    else:
+        values = list(probabilities)
+    survival = 1.0
+    for p in values:
+        survival *= 1.0 - min(1.0, max(0.0, p))
+    return 1.0 - survival

@@ -1,0 +1,236 @@
+"""Feature mining and selection (Section 4.2, Algorithm 4).
+
+The PMI index rows are *features*: small deterministic graphs mined from the
+deterministic skeletons ``Dc``.  The paper selects features that are
+
+* **frequent** under a disjointness-aware frequency,
+  ``frq(f) = |{g : f ⊆iso gc and |IN|/|Ef| ≥ α}| / |D| ≥ β`` — a graph only
+  counts towards the support of ``f`` when a sufficiently large fraction of
+  ``f``'s embeddings in it are pairwise edge-disjoint (Rule 1: disjoint
+  embeddings make tight bounds), and
+* **discriminative**, ``dis(f) = |∩ {Df' : f' ⊆iso f}| / |Df| > γ`` — a
+  feature is only worth indexing when it prunes graphs its indexed
+  sub-features cannot (following gIndex [37]),
+* **small**, controlled by ``max_vertices`` (the paper's ``maxL``;
+  Rule 2: small features give large conditional probabilities).
+
+Mining proceeds by pattern growth: single-edge seeds are extended one edge at
+a time along their embeddings in the data graphs, deduplicated by canonical
+form, and scored level by level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.canonical import canonical_form
+from repro.graphs.labeled_graph import LabeledGraph, edge_key
+from repro.graphs.probabilistic_graph import ProbabilisticGraph
+from repro.isomorphism.embeddings import find_embeddings, maximal_disjoint_embeddings
+
+
+@dataclass(frozen=True)
+class FeatureSelectionConfig:
+    """Parameters of Algorithm 4 (defaults follow the paper's 0.1/0.15 range)."""
+
+    alpha: float = 0.15
+    beta: float = 0.15
+    gamma: float = 0.15
+    max_vertices: int = 4
+    max_features: int = 60
+    max_candidates_per_level: int = 200
+    embedding_limit: int = 64
+
+
+@dataclass
+class Feature:
+    """One indexed feature: its graph, identifier and supporting graphs."""
+
+    feature_id: int
+    graph: LabeledGraph
+    support: frozenset = field(default_factory=frozenset)
+    canonical: str = ""
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"Feature(id={self.feature_id}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, support={len(self.support)})"
+        )
+
+
+class FeatureMiner:
+    """Frequent-and-discriminative feature mining over a graph database."""
+
+    def __init__(self, config: FeatureSelectionConfig | None = None) -> None:
+        self.config = config or FeatureSelectionConfig()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def mine(self, database: list[ProbabilisticGraph]) -> list[Feature]:
+        """Run Algorithm 4 over the database's deterministic skeletons."""
+        skeletons = {index: graph.skeleton for index, graph in enumerate(database)}
+        if not skeletons:
+            return []
+        selected: list[Feature] = []
+        selected_supports: dict[str, frozenset] = {}
+
+        level_graphs = self._single_edge_seeds(skeletons)
+        next_feature_id = 0
+        current_vertices = 2
+        while level_graphs and current_vertices <= self.config.max_vertices:
+            scored = []
+            for candidate in level_graphs:
+                support, qualified = self._support(candidate, skeletons)
+                if not support:
+                    continue
+                frequency = len(qualified) / len(skeletons)
+                if frequency < self.config.beta:
+                    continue
+                if not self._is_discriminative(candidate, support, selected, selected_supports):
+                    continue
+                scored.append((candidate, support, frequency))
+            # prefer frequent candidates; small ones are generated first anyway
+            scored.sort(key=lambda item: (-item[2], item[0].num_edges, canonical_form(item[0])))
+            for candidate, support, _frequency in scored:
+                if len(selected) >= self.config.max_features:
+                    break
+                feature = Feature(
+                    feature_id=next_feature_id,
+                    graph=candidate,
+                    support=support,
+                    canonical=canonical_form(candidate),
+                )
+                selected.append(feature)
+                selected_supports[feature.canonical] = support
+                next_feature_id += 1
+            if len(selected) >= self.config.max_features:
+                break
+            level_graphs = self._grow(
+                [item[0] for item in scored], skeletons
+            )
+            current_vertices += 1
+        return selected
+
+    # ------------------------------------------------------------------
+    # candidate generation
+    # ------------------------------------------------------------------
+    def _single_edge_seeds(self, skeletons: dict[int, LabeledGraph]) -> list[LabeledGraph]:
+        """All distinct single-edge features present in the database."""
+        seen: dict[str, LabeledGraph] = {}
+        for skeleton in skeletons.values():
+            for edge in skeleton.edges():
+                seed = LabeledGraph()
+                seed.add_vertex(0, skeleton.vertex_label(edge.u))
+                seed.add_vertex(1, skeleton.vertex_label(edge.v))
+                seed.add_edge(0, 1, edge.label)
+                key = canonical_form(seed)
+                if key not in seen:
+                    seen[key] = seed
+        return sorted(seen.values(), key=canonical_form)
+
+    def _grow(
+        self, parents: list[LabeledGraph], skeletons: dict[int, LabeledGraph]
+    ) -> list[LabeledGraph]:
+        """Extend parent features by one edge along their data-graph embeddings."""
+        candidates: dict[str, LabeledGraph] = {}
+        for parent in parents:
+            for skeleton in skeletons.values():
+                embeddings = find_embeddings(
+                    parent, skeleton, limit=self.config.embedding_limit
+                )
+                for embedding in embeddings:
+                    extensions = self._extensions_of(embedding.edges, skeleton)
+                    for extension_edges in extensions:
+                        candidate = _rebuild_feature(skeleton, extension_edges)
+                        if candidate.num_vertices > self.config.max_vertices:
+                            continue
+                        key = canonical_form(candidate)
+                        if key not in candidates:
+                            candidates[key] = candidate
+                        if len(candidates) >= self.config.max_candidates_per_level:
+                            return sorted(candidates.values(), key=canonical_form)
+        return sorted(candidates.values(), key=canonical_form)
+
+    @staticmethod
+    def _extensions_of(embedding_edges: frozenset, skeleton: LabeledGraph) -> list[frozenset]:
+        """Edge sets that extend an embedding by one adjacent skeleton edge."""
+        vertices = set()
+        for u, v in embedding_edges:
+            vertices.add(u)
+            vertices.add(v)
+        extensions = []
+        for vertex in vertices:
+            for neighbor in skeleton.neighbors(vertex):
+                key = edge_key(vertex, neighbor)
+                if key not in embedding_edges:
+                    extensions.append(frozenset(embedding_edges | {key}))
+        return extensions
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def _support(
+        self, candidate: LabeledGraph, skeletons: dict[int, LabeledGraph]
+    ) -> tuple[frozenset, frozenset]:
+        """(support, qualified-support) of a candidate feature.
+
+        ``support`` is every graph containing the feature; ``qualified`` only
+        counts graphs where the disjoint-embedding ratio reaches ``alpha``
+        (the frequency of Algorithm 4 uses the qualified set).
+        """
+        containing = set()
+        qualified = set()
+        for index, skeleton in skeletons.items():
+            embeddings = find_embeddings(candidate, skeleton, limit=self.config.embedding_limit)
+            if not embeddings:
+                continue
+            containing.add(index)
+            disjoint = maximal_disjoint_embeddings(embeddings)
+            if len(disjoint) / len(embeddings) >= self.config.alpha:
+                qualified.add(index)
+        return frozenset(containing), frozenset(qualified)
+
+    def _is_discriminative(
+        self,
+        candidate: LabeledGraph,
+        support: frozenset,
+        selected: list[Feature],
+        selected_supports: dict[str, frozenset],
+    ) -> bool:
+        """``dis(f) = |∩ Df'| / |Df| > γ`` over indexed sub-features of f."""
+        if not support:
+            return False
+        subfeature_supports = [
+            selected_supports[feature.canonical]
+            for feature in selected
+            if feature.num_edges < candidate.num_edges
+            and _is_subfeature(feature.graph, candidate)
+        ]
+        if not subfeature_supports:
+            return True
+        intersection = set(subfeature_supports[0])
+        for other in subfeature_supports[1:]:
+            intersection &= other
+        return (len(intersection) / len(support)) > self.config.gamma
+
+
+def _is_subfeature(small: LabeledGraph, large: LabeledGraph) -> bool:
+    from repro.isomorphism.vf2 import is_subgraph_isomorphic
+
+    return is_subgraph_isomorphic(small, large)
+
+
+def _rebuild_feature(skeleton: LabeledGraph, edges: frozenset) -> LabeledGraph:
+    """Copy an edge-induced subgraph of a data graph with fresh vertex ids."""
+    sub = skeleton.subgraph_by_edges(edges)
+    mapping = {vertex: index for index, vertex in enumerate(sorted(sub.vertices(), key=repr))}
+    return sub.relabel_vertices(mapping)

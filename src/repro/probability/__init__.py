@@ -1,0 +1,18 @@
+"""Probability engine: joint probability tables, factor algebra, variable
+elimination, possible-world sampling and Karp-Luby DNF estimation."""
+
+from repro.probability.factors import Factor
+from repro.probability.jpt import JointProbabilityTable
+from repro.probability.junction_tree import VariableEliminationEngine
+from repro.probability.sampling import monte_carlo_sample_size, WorldSampler
+from repro.probability.dnf import estimate_union_probability, exact_union_probability
+
+__all__ = [
+    "Factor",
+    "JointProbabilityTable",
+    "VariableEliminationEngine",
+    "WorldSampler",
+    "monte_carlo_sample_size",
+    "estimate_union_probability",
+    "exact_union_probability",
+]

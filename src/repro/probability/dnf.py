@@ -1,0 +1,150 @@
+"""Union-of-conjunctions probabilities: exact inclusion-exclusion and the
+Karp-Luby estimator.
+
+Theorem 2 of the paper reduces #DNF to subgraph-similarity-probability
+computation; conversely, the SSP of a query is exactly the probability of a
+DNF formula whose clauses are the embeddings of the relaxed queries
+(Lemma 1 + Equation 22).  Each clause (event) here is a set of edge keys that
+must all be present in the sampled world.
+
+* :func:`exact_union_probability` — inclusion-exclusion over the events
+  (Equation 21); exponential in the number of events, guarded by a cap, used
+  by the ``Exact`` verification baseline and by tests.
+* :func:`estimate_union_probability` — the Karp-Luby coverage estimator that
+  Algorithm 5 instantiates.  The paper's pseudo-code returns ``Cnt/N``; the
+  unbiased coverage estimator is ``V * Cnt / N`` with ``V = Σ Pr(Bfi)``, which
+  is what this function returns (clamped to [0, 1]); see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import TYPE_CHECKING
+
+from repro.exceptions import VerificationError
+from repro.probability.junction_tree import VariableEliminationEngine
+from repro.probability.sampling import (
+    DEFAULT_TAU,
+    DEFAULT_XI,
+    WorldSampler,
+    monte_carlo_sample_size,
+)
+from repro.utils.rng import RandomLike, ensure_rng
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.graphs.probabilistic_graph import EdgeKey, ProbabilisticGraph
+
+Event = frozenset  # frozenset[EdgeKey]
+
+DEFAULT_EXACT_EVENT_LIMIT = 20
+
+
+def normalize_events(events: list[frozenset | set]) -> list[Event]:
+    """Deduplicate events and drop ones absorbed by a weaker event.
+
+    An event is the conjunction "all of these edges are present", so if
+    A ⊆ B (B requires a superset of A's edges) then B implies A and the
+    disjunction A ∨ B collapses to A.  Supersets are therefore dropped, which
+    keeps both the exact and the sampled estimators cheaper without changing
+    the union probability.  Empty events are dropped too (the caller treats
+    "no events" as probability zero).
+    """
+    unique = {Event(e) for e in events if e}
+    kept: list[Event] = []
+    for event in sorted(unique, key=lambda e: (len(e), repr(sorted(e, key=repr)))):
+        if any(existing <= event for existing in kept):
+            continue
+        kept.append(event)
+    return kept
+
+
+def exact_union_probability(
+    graph: ProbabilisticGraph,
+    events: list[frozenset | set],
+    max_events: int = DEFAULT_EXACT_EVENT_LIMIT,
+) -> float:
+    """``Pr(∨_i  all edges of event_i present)`` by inclusion-exclusion."""
+    clean = normalize_events(events)
+    if not clean:
+        return 0.0
+    if len(clean) > max_events:
+        raise VerificationError(
+            f"inclusion-exclusion over {len(clean)} events (limit {max_events}); "
+            "use estimate_union_probability instead"
+        )
+    engine = VariableEliminationEngine(graph)
+    total = 0.0
+    for size in range(1, len(clean) + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for subset in combinations(clean, size):
+            union_edges: set[EdgeKey] = set()
+            for event in subset:
+                union_edges.update(event)
+            total += sign * engine.probability_all_present(union_edges)
+    return min(1.0, max(0.0, total))
+
+
+def estimate_union_probability(
+    graph: ProbabilisticGraph,
+    events: list[frozenset | set],
+    xi: float = DEFAULT_XI,
+    tau: float = DEFAULT_TAU,
+    num_samples: int | None = None,
+    rng: RandomLike = None,
+) -> float:
+    """Karp-Luby coverage estimate of the union probability (Algorithm 5).
+
+    Parameters
+    ----------
+    graph:
+        The probabilistic graph whose worlds are sampled.
+    events:
+        Each event is a set of edge keys that must all be present.
+    xi, tau:
+        Failure probability and accuracy of the Monte-Carlo bound; the sample
+        count defaults to ``(4 ln(2/ξ)) / τ²``.
+    num_samples:
+        Explicit override of the sample count.
+    """
+    clean = normalize_events(events)
+    if not clean:
+        return 0.0
+    generator = ensure_rng(rng)
+    engine = VariableEliminationEngine(graph)
+    weights = [engine.probability_all_present(event) for event in clean]
+    total_weight = sum(weights)
+    if total_weight <= 0.0:
+        return 0.0
+
+    sampler = WorldSampler(graph, rng=generator)
+    n = num_samples if num_samples is not None else monte_carlo_sample_size(xi, tau)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+
+    count = 0
+    for _ in range(n):
+        pick = generator.random() * total_weight
+        index = _bisect(cumulative, pick)
+        event = clean[index]
+        evidence = {key: 1 for key in event}
+        present = sampler.sample_present_edges(evidence)
+        # canonical-clause check: count only when no earlier event is satisfied
+        if not any(clean[j] <= present for j in range(index)):
+            count += 1
+    estimate = total_weight * count / n
+    return min(1.0, max(0.0, estimate))
+
+
+def _bisect(cumulative: list[float], value: float) -> int:
+    """Index of the first cumulative weight >= value."""
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        mid = (low + high) // 2
+        if cumulative[mid] < value:
+            low = mid + 1
+        else:
+            high = mid
+    return low

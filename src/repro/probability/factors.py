@@ -1,0 +1,235 @@
+"""Discrete factors over binary variables.
+
+A :class:`Factor` maps assignments of a fixed tuple of binary variables to
+non-negative reals.  Factors are the work-horse of the probability engine:
+joint probability tables (:mod:`repro.probability.jpt`) are normalized
+factors, the possible-world measure of a probabilistic graph is a product of
+factors, and variable elimination multiplies and marginalizes factors to
+compute edge-set marginals such as ``Pr(Bf)`` in Algorithm 5 of the paper.
+
+Variables are arbitrary hashable identifiers (edge keys in practice); values
+are 0 (edge absent) and 1 (edge present).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from itertools import product as iter_product
+
+from repro.exceptions import FactorError
+
+Variable = Hashable
+Assignment = tuple[int, ...]
+
+
+class Factor:
+    """A non-negative function over assignments of binary variables.
+
+    Parameters
+    ----------
+    variables:
+        Ordered tuple of variable identifiers.
+    table:
+        Mapping from assignment tuples (one 0/1 value per variable, in the
+        same order) to non-negative floats.  Missing assignments default to
+        value 0.0.
+    """
+
+    def __init__(
+        self,
+        variables: Iterable[Variable],
+        table: Mapping[Assignment, float],
+    ) -> None:
+        self.variables: tuple[Variable, ...] = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise FactorError(f"duplicate variables in factor: {self.variables!r}")
+        self.table: dict[Assignment, float] = {}
+        width = len(self.variables)
+        for assignment, value in table.items():
+            key = tuple(int(v) for v in assignment)
+            if len(key) != width:
+                raise FactorError(
+                    f"assignment {assignment!r} has {len(key)} values, expected {width}"
+                )
+            if any(v not in (0, 1) for v in key):
+                raise FactorError(f"assignment {assignment!r} contains non-binary values")
+            if value < 0:
+                raise FactorError(f"negative factor value {value!r} for {assignment!r}")
+            if value != 0.0:
+                self.table[key] = float(value)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def unit(cls) -> "Factor":
+        """The multiplicative identity: no variables, value 1."""
+        return cls((), {(): 1.0})
+
+    @classmethod
+    def from_bernoulli(cls, variable: Variable, probability: float) -> "Factor":
+        """A single-variable factor P(x=1)=p, P(x=0)=1-p."""
+        if not 0.0 <= probability <= 1.0:
+            raise FactorError(f"probability {probability!r} outside [0, 1]")
+        return cls((variable,), {(1,): probability, (0,): 1.0 - probability})
+
+    @classmethod
+    def full_table(
+        cls, variables: Iterable[Variable], values: Iterable[float]
+    ) -> "Factor":
+        """Build a factor from values listed in lexicographic assignment order
+        (all-zeros first, counting up in binary with the last variable as the
+        least significant bit)."""
+        variables = tuple(variables)
+        values = list(values)
+        expected = 2 ** len(variables)
+        if len(values) != expected:
+            raise FactorError(f"expected {expected} values, got {len(values)}")
+        table = {}
+        for index, assignment in enumerate(iter_product((0, 1), repeat=len(variables))):
+            table[assignment] = values[index]
+        return cls(variables, table)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def value(self, assignment: Mapping[Variable, int]) -> float:
+        """Value for a (full) assignment given as a mapping."""
+        key = tuple(int(assignment[v]) for v in self.variables)
+        return self.table.get(key, 0.0)
+
+    def assignments(self) -> Iterable[tuple[Assignment, float]]:
+        """Iterate over (assignment, value) pairs with non-zero value."""
+        return self.table.items()
+
+    def total(self) -> float:
+        """Sum of all values (the partition function of this factor alone)."""
+        return sum(self.table.values())
+
+    def is_normalized(self, tolerance: float = 1e-9) -> bool:
+        return abs(self.total() - 1.0) <= tolerance
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def normalize(self) -> "Factor":
+        """Return a copy scaled to sum to 1.  Raises on an all-zero factor."""
+        z = self.total()
+        if z <= 0:
+            raise FactorError("cannot normalize a factor whose total mass is zero")
+        return Factor(self.variables, {a: v / z for a, v in self.table.items()})
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product, joining on shared variables."""
+        merged_vars = list(self.variables)
+        for var in other.variables:
+            if var not in self.variables:
+                merged_vars.append(var)
+        self_pos = {v: i for i, v in enumerate(self.variables)}
+        other_pos = {v: i for i, v in enumerate(other.variables)}
+        table: dict[Assignment, float] = {}
+        for a1, v1 in self.table.items():
+            for a2, v2 in other.table.items():
+                compatible = True
+                for var in other.variables:
+                    if var in self_pos and a1[self_pos[var]] != a2[other_pos[var]]:
+                        compatible = False
+                        break
+                if not compatible:
+                    continue
+                merged = []
+                for var in merged_vars:
+                    if var in self_pos:
+                        merged.append(a1[self_pos[var]])
+                    else:
+                        merged.append(a2[other_pos[var]])
+                # each compatible (a1, a2) pair yields a distinct merged key,
+                # so direct assignment (no accumulation) is correct here
+                table[tuple(merged)] = v1 * v2
+        return Factor(merged_vars, table)
+
+    def marginalize(self, variables_to_remove: Iterable[Variable]) -> "Factor":
+        """Sum out ``variables_to_remove``."""
+        remove = set(variables_to_remove)
+        unknown = remove - set(self.variables)
+        if unknown:
+            raise FactorError(f"cannot marginalize unknown variables: {sorted(map(repr, unknown))}")
+        keep = [v for v in self.variables if v not in remove]
+        keep_idx = [i for i, v in enumerate(self.variables) if v not in remove]
+        table: dict[Assignment, float] = {}
+        for assignment, value in self.table.items():
+            key = tuple(assignment[i] for i in keep_idx)
+            table[key] = table.get(key, 0.0) + value
+        return Factor(keep, table)
+
+    def condition(self, evidence: Mapping[Variable, int]) -> "Factor":
+        """Restrict to assignments consistent with ``evidence`` and drop those
+        variables.  The result is *not* renormalized (it is a slice)."""
+        relevant = {v: int(val) for v, val in evidence.items() if v in self.variables}
+        if not relevant:
+            return Factor(self.variables, dict(self.table))
+        keep = [v for v in self.variables if v not in relevant]
+        keep_idx = [i for i, v in enumerate(self.variables) if v not in relevant]
+        fixed_idx = {i: relevant[v] for i, v in enumerate(self.variables) if v in relevant}
+        table: dict[Assignment, float] = {}
+        for assignment, value in self.table.items():
+            if any(assignment[i] != val for i, val in fixed_idx.items()):
+                continue
+            key = tuple(assignment[i] for i in keep_idx)
+            table[key] = table.get(key, 0.0) + value
+        return Factor(keep, table)
+
+    def marginal_probability(self, variable: Variable, value: int = 1) -> float:
+        """Marginal probability that ``variable == value`` under the
+        normalized version of this factor."""
+        if variable not in self.variables:
+            raise FactorError(f"unknown variable {variable!r}")
+        normalized = self.normalize()
+        keep = normalized.marginalize([v for v in self.variables if v != variable])
+        return keep.table.get((int(value),), 0.0)
+
+    # ------------------------------------------------------------------
+    # sampling support
+    # ------------------------------------------------------------------
+    def sample(self, rng) -> dict[Variable, int]:
+        """Draw one assignment with probability proportional to its value."""
+        total = self.total()
+        if total <= 0:
+            raise FactorError("cannot sample from a factor whose total mass is zero")
+        pick = rng.random() * total
+        cumulative = 0.0
+        last_assignment: Assignment | None = None
+        for assignment, value in self.table.items():
+            cumulative += value
+            last_assignment = assignment
+            if pick <= cumulative:
+                return dict(zip(self.variables, assignment))
+        # numerical edge case: fall back to the last assignment
+        assert last_assignment is not None
+        return dict(zip(self.variables, last_assignment))
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "Factor") -> "Factor":
+        return self.multiply(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Factor):
+            return NotImplemented
+        if set(self.variables) != set(other.variables):
+            return False
+        # compare on a common variable order
+        other_pos = {v: i for i, v in enumerate(other.variables)}
+        reorder = [other_pos[v] for v in self.variables]
+        remapped = {}
+        for assignment, value in other.table.items():
+            remapped[tuple(assignment[i] for i in reorder)] = value
+        keys = set(self.table) | set(remapped)
+        return all(abs(self.table.get(k, 0.0) - remapped.get(k, 0.0)) < 1e-12 for k in keys)
+
+    def __hash__(self) -> int:  # pragma: no cover - factors are mutable-ish
+        raise TypeError("Factor is not hashable")
+
+    def __repr__(self) -> str:
+        return f"Factor(variables={self.variables!r}, entries={len(self.table)})"

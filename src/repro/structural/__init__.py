@@ -1,0 +1,6 @@
+"""Deterministic structural pruning (Theorem 1, after Yan et al. [38])."""
+
+from repro.structural.feature_index import StructuralFeatureIndex
+from repro.structural.similarity_filter import StructuralFilter, StructuralFilterResult
+
+__all__ = ["StructuralFeatureIndex", "StructuralFilter", "StructuralFilterResult"]

@@ -1,0 +1,90 @@
+"""A Grafil-style deterministic feature-count index.
+
+The paper performs structural pruning with the substructure-similarity filter
+of Yan, Yu & Han [38]: per-feature occurrence counts in the query are
+compared against per-graph counts, and a graph survives only if the total
+"missed" feature occurrences can be explained by ``δ`` edge relaxations of
+the query.  The original multi-filter composition is proprietary-ish C++; we
+reproduce its core counting filter:
+
+* each indexed feature ``f`` has an occurrence count ``cnt_g(f)`` per data
+  graph (number of distinct embeddings, capped),
+* for a query ``q`` with threshold ``δ`` the maximum number of feature
+  occurrences a single edge deletion can destroy is ``maxhit_q(f)``
+  (the largest number of ``f``-embeddings in ``q`` sharing one edge), so any
+  data graph with ``cnt_g(f) < cnt_q(f) - δ · maxhit_q(f)`` for some feature
+  — or, in the composed form, whose accumulated deficit exceeds the
+  allowance — cannot contain ``q`` within distance ``δ`` and is pruned
+  (Theorem 1 keeps this sound for probabilistic graphs).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.isomorphism.embeddings import find_embeddings
+from repro.pmi.features import Feature
+
+
+class StructuralFeatureIndex:
+    """Per-graph feature occurrence counts for the structural filter."""
+
+    def __init__(self, embedding_limit: int = 64) -> None:
+        self.embedding_limit = embedding_limit
+        self.features: list[Feature] = []
+        self._counts: dict[int, dict[int, int]] = {}
+        self._built = False
+
+    def build(
+        self, skeletons: list[LabeledGraph], features: list[Feature]
+    ) -> "StructuralFeatureIndex":
+        """Count every feature's embeddings in every skeleton."""
+        self.features = list(features)
+        self._counts = {}
+        for graph_id, skeleton in enumerate(skeletons):
+            row: dict[int, int] = {}
+            for feature in self.features:
+                embeddings = find_embeddings(
+                    feature.graph, skeleton, limit=self.embedding_limit
+                )
+                if embeddings:
+                    row[feature.feature_id] = len(embeddings)
+            self._counts[graph_id] = row
+        self._built = True
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def count(self, graph_id: int, feature_id: int) -> int:
+        return self._counts.get(graph_id, {}).get(feature_id, 0)
+
+    def counts_for_graph(self, graph_id: int) -> dict[int, int]:
+        return dict(self._counts.get(graph_id, {}))
+
+    def query_profile(self, query: LabeledGraph) -> dict[int, dict]:
+        """Feature occurrence statistics of the query.
+
+        For each feature occurring in the query: its embedding count and the
+        maximum number of embeddings that share a single query edge (how many
+        occurrences one edge deletion can destroy at most).
+        """
+        profile: dict[int, dict] = {}
+        for feature in self.features:
+            embeddings = find_embeddings(feature.graph, query, limit=self.embedding_limit)
+            if not embeddings:
+                continue
+            per_edge: dict = defaultdict(int)
+            for embedding in embeddings:
+                for key in embedding.edges:
+                    per_edge[key] += 1
+            profile[feature.feature_id] = {
+                "count": len(embeddings),
+                "max_hits_per_edge": max(per_edge.values()) if per_edge else 0,
+            }
+        return profile
+
+    def graph_ids(self) -> list[int]:
+        return sorted(self._counts)

@@ -1,0 +1,100 @@
+"""Structural pruning of the database (step 1 of the pipeline, Theorem 1).
+
+If the query is not subgraph-similar to the deterministic skeleton ``gc``
+(all uncertainty removed) its subgraph similarity probability is zero, so the
+graph can be discarded before any probabilistic work.  The filter combines:
+
+1. a label-multiset quick check (a query edge signature the skeleton lacks
+   must be relaxed away, so more than ``δ`` missing signatures ⇒ prune);
+2. the feature-count filter of :class:`StructuralFeatureIndex` (Grafil [38]);
+3. optionally, an exact subgraph-similarity check (VF2 over relaxations) for
+   callers that want the candidate set to be exactly ``SCq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.isomorphism.mcs import is_subgraph_similar, signature_distance_lower_bound
+from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.timer import Timer
+
+
+@dataclass
+class StructuralFilterResult:
+    """Outcome of structural pruning over a database."""
+
+    candidate_ids: list[int] = field(default_factory=list)
+    pruned_ids: list[int] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidate_ids)
+
+
+class StructuralFilter:
+    """Runs the deterministic filters against all indexed skeletons."""
+
+    def __init__(
+        self,
+        index: StructuralFeatureIndex,
+        skeletons: list[LabeledGraph],
+        exact_check: bool = False,
+    ) -> None:
+        if not index.is_built:
+            raise ValueError("the structural feature index must be built first")
+        self.index = index
+        self.skeletons = list(skeletons)
+        self.exact_check = exact_check
+
+    def filter(self, query: LabeledGraph, distance_threshold: int) -> StructuralFilterResult:
+        """Return the candidate set ``SCq`` (ids into the database order)."""
+        result = StructuralFilterResult()
+        timer = Timer()
+        with timer:
+            profile = self.index.query_profile(query)
+            for graph_id, skeleton in enumerate(self.skeletons):
+                if self._prunable(query, skeleton, graph_id, profile, distance_threshold):
+                    result.pruned_ids.append(graph_id)
+                else:
+                    result.candidate_ids.append(graph_id)
+        result.seconds = timer.elapsed
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _prunable(
+        self,
+        query: LabeledGraph,
+        skeleton: LabeledGraph,
+        graph_id: int,
+        query_profile: dict[int, dict],
+        distance_threshold: int,
+    ) -> bool:
+        # filter 1: edge-signature deficit
+        if signature_distance_lower_bound(query, skeleton) > distance_threshold:
+            return True
+        # filter 2: feature-count deficit (Grafil-style)
+        if self._feature_count_prunable(graph_id, query_profile, distance_threshold):
+            return True
+        # filter 3 (optional): exact similarity check
+        if self.exact_check and not is_subgraph_similar(query, skeleton, distance_threshold):
+            return True
+        return False
+
+    def _feature_count_prunable(
+        self, graph_id: int, query_profile: dict[int, dict], distance_threshold: int
+    ) -> bool:
+        """Accumulated feature-occurrence deficit beyond what δ edges explain."""
+        for feature_id, stats in query_profile.items():
+            available = self.index.count(graph_id, feature_id)
+            deficit = stats["count"] - available
+            if deficit <= 0:
+                continue
+            allowance = distance_threshold * max(1, stats["max_hits_per_edge"])
+            if deficit > allowance:
+                return True
+        return False

@@ -1,0 +1,6 @@
+"""Small shared utilities: random number handling, timers and logging."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+
+__all__ = ["ensure_rng", "Timer"]

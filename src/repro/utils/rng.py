@@ -1,0 +1,44 @@
+"""Random-number-generator helpers.
+
+Every stochastic entry point in the library accepts either ``None`` (use a
+fresh default generator), an integer seed, or an existing
+:class:`random.Random` instance.  :func:`ensure_rng` normalizes the three
+forms so internal code always works with a ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+
+RandomLike = random.Random | int | None
+
+
+def ensure_rng(rng: RandomLike = None) -> random.Random:
+    """Return a :class:`random.Random` for any accepted ``rng`` argument.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for a nondeterministic generator, an ``int`` seed for a
+        reproducible generator, or an existing ``random.Random`` which is
+        returned unchanged.
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool):  # bool is an int subclass; reject it explicitly
+        raise TypeError("rng must be None, an int seed, or a random.Random instance")
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"rng must be None, an int seed, or a random.Random instance, got {rng!r}")
+
+
+def spawn_rng(rng: random.Random, salt: int = 0) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a long-running task wants to hand reproducible, independent
+    streams to sub-tasks without sharing one generator across them.
+    """
+    seed = rng.getrandbits(64) ^ (salt * 0x9E3779B97F4A7C15 & (2**64 - 1))
+    return random.Random(seed)

@@ -1,0 +1,132 @@
+"""Shared fixtures: the paper's Figure 1 example graphs, a toy PPI database,
+and reusable query graphs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import PPIDatasetConfig, generate_ppi_database
+from repro.graphs import LabeledGraph, NeighborEdgeFactor, ProbabilisticGraph
+from repro.probability import JointProbabilityTable
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20120527)
+
+
+@pytest.fixture
+def triangle_graph_001() -> ProbabilisticGraph:
+    """The paper's graph 001 (Figure 1): a labeled triangle with one JPT.
+
+    The joint probability table is the complete 8-row table shown in the
+    figure: (1,1,1)->0.2, (1,1,0)->0.2 and 0.1 for the six remaining rows.
+    """
+    skeleton = LabeledGraph(name="001")
+    skeleton.add_vertex(1, "a")
+    skeleton.add_vertex(2, "b")
+    skeleton.add_vertex(3, "c")
+    skeleton.add_edge(1, 2, "e")   # e1
+    skeleton.add_edge(2, 3, "e")   # e2
+    skeleton.add_edge(1, 3, "e")   # e3
+    e1, e2, e3 = (1, 2), (2, 3), (1, 3)
+    table = {
+        (1, 1, 1): 0.2,
+        (1, 1, 0): 0.2,
+        (1, 0, 1): 0.1,
+        (1, 0, 0): 0.1,
+        (0, 1, 1): 0.1,
+        (0, 1, 0): 0.1,
+        (0, 0, 1): 0.1,
+        (0, 0, 0): 0.1,
+    }
+    jpt = JointProbabilityTable((e1, e2, e3), table)
+    return ProbabilisticGraph(skeleton, [NeighborEdgeFactor((e1, e2, e3), jpt)], name="001")
+
+
+@pytest.fixture
+def overlap_graph_002() -> ProbabilisticGraph:
+    """A graph in the spirit of the paper's 002: two JPTs sharing edge e3.
+
+    Vertices: v1(a), v2(a), v3(b), v4(b), v5(c).  Edges e1=(v1,v2),
+    e2=(v1,v3), e3=(v2,v3) form a triangle; e3, e4=(v3,v4), e5=(v3,v5) are
+    incident to v3.  JPT1 covers {e1,e2,e3}, JPT2 covers {e3,e4,e5}: the two
+    neighbor edge sets overlap on e3 exactly as in Figure 1.
+    """
+    skeleton = LabeledGraph(name="002")
+    labels = {1: "a", 2: "a", 3: "b", 4: "b", 5: "c"}
+    for vertex, label in labels.items():
+        skeleton.add_vertex(vertex, label)
+    skeleton.add_edge(1, 2, "e")   # e1
+    skeleton.add_edge(1, 3, "e")   # e2
+    skeleton.add_edge(2, 3, "e")   # e3
+    skeleton.add_edge(3, 4, "e")   # e4
+    skeleton.add_edge(3, 5, "e")   # e5
+    e1, e2, e3, e4, e5 = (1, 2), (1, 3), (2, 3), (3, 4), (3, 5)
+    jpt1 = JointProbabilityTable.from_max_dominance({e1: 0.6, e2: 0.7, e3: 0.5})
+    jpt2 = JointProbabilityTable.from_max_dominance({e3: 0.5, e4: 0.6, e5: 0.4})
+    factors = [
+        NeighborEdgeFactor((e1, e2, e3), jpt1),
+        NeighborEdgeFactor((e3, e4, e5), jpt2),
+    ]
+    return ProbabilisticGraph(skeleton, factors, name="002")
+
+
+@pytest.fixture
+def path_query() -> LabeledGraph:
+    """A 2-edge path query a-b-b, subgraph-similar to graph 002's skeleton."""
+    query = LabeledGraph(name="q-path")
+    query.add_vertex(0, "a")
+    query.add_vertex(1, "b")
+    query.add_vertex(2, "b")
+    query.add_edge(0, 1, "e")
+    query.add_edge(1, 2, "e")
+    return query
+
+
+@pytest.fixture
+def triangle_query() -> LabeledGraph:
+    """A 3-edge triangle query with labels a, a, b (matches 002's triangle)."""
+    query = LabeledGraph(name="q-triangle")
+    query.add_vertex(0, "a")
+    query.add_vertex(1, "a")
+    query.add_vertex(2, "b")
+    query.add_edge(0, 1, "e")
+    query.add_edge(0, 2, "e")
+    query.add_edge(1, 2, "e")
+    return query
+
+
+@pytest.fixture(scope="session")
+def small_ppi_database():
+    """A deterministic small synthetic PPI database shared by slower tests."""
+    config = PPIDatasetConfig(
+        num_graphs=8,
+        num_families=2,
+        vertices_per_graph=12,
+        edges_per_graph=16,
+        motif_vertices=4,
+        motif_edges=4,
+        mean_edge_probability=0.55,
+        probability_spread=0.2,
+    )
+    return generate_ppi_database(config, rng=99)
+
+
+def make_simple_probabilistic_graph(
+    edge_probability: float = 0.5, correlation: str = "independent"
+) -> ProbabilisticGraph:
+    """A 4-vertex, 4-edge helper graph used by several test modules."""
+    skeleton = LabeledGraph(name="simple")
+    for vertex, label in ((0, "a"), (1, "b"), (2, "a"), (3, "b")):
+        skeleton.add_vertex(vertex, label)
+    skeleton.add_edge(0, 1, "x")
+    skeleton.add_edge(1, 2, "x")
+    skeleton.add_edge(2, 3, "x")
+    skeleton.add_edge(0, 3, "x")
+    probabilities = {key: edge_probability for key in skeleton.edge_keys()}
+    return ProbabilisticGraph.from_edge_probabilities(
+        skeleton, probabilities, correlation=correlation
+    )

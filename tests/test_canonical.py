@@ -1,0 +1,75 @@
+"""Unit tests for canonical forms of small labeled graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import LabeledGraph
+from repro.graphs.canonical import are_isomorphic_small, canonical_form, refinement_certificate
+
+
+def path(labels, edge_labels=None):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        label = edge_labels[index] if edge_labels else "e"
+        graph.add_edge(index, index + 1, label)
+    return graph
+
+
+class TestCanonicalForm:
+    def test_isomorphic_paths_share_canonical_form(self):
+        g1 = path(["a", "b", "c"])
+        g2 = path(["c", "b", "a"])  # reversed labels, isomorphic as labeled graphs
+        assert canonical_form(g1) == canonical_form(g2)
+
+    def test_relabeled_vertices_do_not_change_canonical_form(self):
+        g1 = path(["a", "b", "c"])
+        g2 = g1.relabel_vertices({0: "x", 1: "y", 2: "z"})
+        assert canonical_form(g1) == canonical_form(g2)
+
+    def test_different_vertex_labels_change_canonical_form(self):
+        assert canonical_form(path(["a", "b", "c"])) != canonical_form(path(["a", "b", "d"]))
+
+    def test_different_edge_labels_change_canonical_form(self):
+        g1 = path(["a", "b"], edge_labels=["x"])
+        g2 = path(["a", "b"], edge_labels=["y"])
+        assert canonical_form(g1) != canonical_form(g2)
+
+    def test_different_structure_changes_canonical_form(self):
+        triangle = LabeledGraph.from_edges(
+            {0: "a", 1: "a", 2: "a"}, [(0, 1, "e"), (1, 2, "e"), (0, 2, "e")]
+        )
+        three_path = path(["a", "a", "a"])
+        assert canonical_form(triangle) != canonical_form(three_path)
+
+    def test_empty_graph(self):
+        assert canonical_form(LabeledGraph()) == "empty"
+
+    def test_large_graph_uses_refinement_fallback(self):
+        big = path(list("abcdefghij"))
+        assert canonical_form(big).startswith("wl:")
+        small = path(["a", "b"])
+        assert canonical_form(small).startswith("exact:")
+
+    def test_refinement_certificate_invariant_under_relabeling(self):
+        g1 = path(list("abcdefghij"))
+        mapping = {i: f"v{i}" for i in range(10)}
+        g2 = g1.relabel_vertices(mapping)
+        assert refinement_certificate(g1) == refinement_certificate(g2)
+
+
+class TestIsomorphismSmall:
+    def test_isomorphic(self):
+        g1 = path(["a", "b", "a"])
+        g2 = path(["a", "b", "a"]).relabel_vertices({0: 10, 1: 11, 2: 12})
+        assert are_isomorphic_small(g1, g2)
+
+    def test_non_isomorphic_sizes(self):
+        assert not are_isomorphic_small(path(["a", "b"]), path(["a", "b", "c"]))
+
+    def test_large_graphs_rejected(self):
+        big = path(list("abcdefghij"))
+        with pytest.raises(ValueError):
+            are_isomorphic_small(big, big.copy())

@@ -1,0 +1,129 @@
+"""Tests for the synthetic dataset and query workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    PPIDatasetConfig,
+    extract_query,
+    generate_ppi_database,
+    generate_query_workload,
+    generate_road_network,
+    generate_social_network,
+)
+from repro.exceptions import QueryError
+from repro.isomorphism import is_subgraph_isomorphic
+
+
+class TestPPIDatabase:
+    def test_size_and_ground_truth(self, small_ppi_database):
+        assert len(small_ppi_database) == small_ppi_database.config.num_graphs
+        assert len(small_ppi_database.organisms) == len(small_ppi_database.graphs)
+        families = set(small_ppi_database.organisms)
+        assert families == set(range(small_ppi_database.config.num_families))
+
+    def test_graph_shapes_respect_config(self, small_ppi_database):
+        cfg = small_ppi_database.config
+        for graph in small_ppi_database.graphs:
+            assert graph.num_vertices == cfg.vertices_per_graph
+            assert graph.num_edges >= cfg.vertices_per_graph - 1
+            assert graph.skeleton.is_connected()
+
+    def test_edge_probabilities_centred_on_mean(self, small_ppi_database):
+        cfg = small_ppi_database.config
+        average = sum(g.average_edge_probability() for g in small_ppi_database.graphs) / len(
+            small_ppi_database
+        )
+        assert average == pytest.approx(cfg.mean_edge_probability, abs=0.12)
+
+    def test_family_motif_contained_in_members(self, small_ppi_database):
+        for graph_id, graph in enumerate(small_ppi_database.graphs[:4]):
+            family = small_ppi_database.organism_of(graph_id)
+            motif = small_ppi_database.family_motifs[family]
+            assert is_subgraph_isomorphic(motif, graph.skeleton)
+
+    def test_graphs_of_organism(self, small_ppi_database):
+        for family in range(small_ppi_database.config.num_families):
+            members = small_ppi_database.graphs_of_organism(family)
+            assert members
+            assert all(small_ppi_database.organism_of(m) == family for m in members)
+
+    def test_reproducible_with_seed(self):
+        cfg = PPIDatasetConfig(num_graphs=3, vertices_per_graph=8, edges_per_graph=10)
+        first = generate_ppi_database(cfg, rng=5)
+        second = generate_ppi_database(cfg, rng=5)
+        for g1, g2 in zip(first.graphs, second.graphs):
+            assert g1.skeleton == g2.skeleton
+
+    def test_independent_correlation_option(self):
+        cfg = PPIDatasetConfig(
+            num_graphs=2, vertices_per_graph=8, edges_per_graph=10, correlation="independent"
+        )
+        data = generate_ppi_database(cfg, rng=5)
+        assert all(graph.is_edge_partition() for graph in data.graphs)
+
+
+class TestQueryWorkloads:
+    def test_extracted_query_is_connected_subgraph(self, small_ppi_database):
+        skeleton = small_ppi_database.graphs[0].skeleton
+        query = extract_query(skeleton, 5, rng=3)
+        assert query.num_edges == 5
+        assert query.is_connected()
+        assert is_subgraph_isomorphic(query, skeleton)
+
+    def test_query_size_larger_than_graph_rejected(self, small_ppi_database):
+        skeleton = small_ppi_database.graphs[0].skeleton
+        with pytest.raises(QueryError):
+            extract_query(skeleton, skeleton.num_edges + 1)
+        with pytest.raises(QueryError):
+            extract_query(skeleton, 0)
+
+    def test_workload_provenance(self, small_ppi_database):
+        workload = generate_query_workload(
+            small_ppi_database.graphs,
+            query_size=4,
+            num_queries=6,
+            organisms=small_ppi_database.organisms,
+            rng=11,
+        )
+        assert len(workload) == 6
+        assert workload.size == 4
+        for record in workload:
+            assert record.query.num_edges == 4
+            assert 0 <= record.source_graph_id < len(small_ppi_database.graphs)
+            assert record.organism == small_ppi_database.organism_of(record.source_graph_id)
+
+    def test_workload_requires_large_enough_graphs(self, small_ppi_database):
+        with pytest.raises(QueryError):
+            generate_query_workload(small_ppi_database.graphs, query_size=10_000, num_queries=1)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(QueryError):
+            generate_query_workload([], query_size=2, num_queries=1)
+
+
+class TestScenarioGenerators:
+    def test_road_network_shape(self):
+        network = generate_road_network(rows=4, columns=4, rng=3)
+        assert network.skeleton.is_connected()
+        assert network.num_vertices == 16
+        assert network.num_edges >= 2 * 4 * 3  # grid edges at minimum
+        assert 0.0 < network.average_edge_probability() < 1.0
+
+    def test_road_network_congestion_lowers_probability(self):
+        free = generate_road_network(congestion_level=0.0, rng=3)
+        jammed = generate_road_network(congestion_level=1.0, rng=3)
+        assert jammed.average_edge_probability() < free.average_edge_probability()
+
+    def test_social_network_shape(self):
+        network = generate_social_network(num_communities=3, community_size=6, rng=3)
+        assert network.skeleton.is_connected()
+        assert network.num_vertices == 18
+        labels = {network.skeleton.vertex_label(v) for v in network.skeleton.vertices()}
+        assert "influencer" in labels
+
+    def test_social_network_trust_parameter(self):
+        low = generate_social_network(mean_trust=0.2, rng=3)
+        high = generate_social_network(mean_trust=0.8, rng=3)
+        assert low.average_edge_probability() < high.average_edge_probability()

@@ -1,0 +1,100 @@
+"""Tests for exact inclusion-exclusion and the Karp-Luby union estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.probability import estimate_union_probability, exact_union_probability
+from repro.probability.dnf import normalize_events
+
+from tests.conftest import make_simple_probabilistic_graph
+
+
+class TestNormalizeEvents:
+    def test_duplicates_removed(self):
+        events = [frozenset({(0, 1)}), frozenset({(0, 1)})]
+        assert len(normalize_events(events)) == 1
+
+    def test_supersets_absorbed(self):
+        small = frozenset({(0, 1)})
+        large = frozenset({(0, 1), (1, 2)})
+        assert normalize_events([small, large]) == [small]
+
+    def test_empty_events_dropped(self):
+        assert normalize_events([frozenset()]) == []
+
+
+class TestExactUnion:
+    def test_single_event(self):
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        key = graph.edge_variables()[0]
+        assert exact_union_probability(graph, [{key}]) == pytest.approx(0.5)
+
+    def test_two_independent_events(self):
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        e1, e2 = graph.edge_variables()[:2]
+        # Pr(e1 ∨ e2) = 1 - 0.5 * 0.5
+        assert exact_union_probability(graph, [{e1}, {e2}]) == pytest.approx(0.75)
+
+    def test_union_of_everything(self):
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        events = [{key} for key in graph.edge_variables()]
+        expected = 1.0 - 0.5 ** len(events)
+        assert exact_union_probability(graph, events) == pytest.approx(expected)
+
+    def test_no_events_is_zero(self):
+        graph = make_simple_probabilistic_graph()
+        assert exact_union_probability(graph, []) == 0.0
+
+    def test_correlated_graph_against_enumeration(self, triangle_graph_001):
+        from repro.graphs import enumerate_possible_worlds
+
+        edges = triangle_graph_001.edge_variables()
+        events = [{edges[0], edges[1]}, {edges[2]}]
+        expected = 0.0
+        for world in enumerate_possible_worlds(triangle_graph_001):
+            present = world.present_edges()
+            if {edges[0], edges[1]} <= present or edges[2] in present:
+                expected += world.probability
+        assert exact_union_probability(triangle_graph_001, events) == pytest.approx(expected)
+
+    def test_event_limit_enforced(self):
+        graph = make_simple_probabilistic_graph()
+        events = [{key} for key in graph.edge_variables()]
+        with pytest.raises(VerificationError):
+            exact_union_probability(graph, events, max_events=2)
+
+
+class TestKarpLubyEstimator:
+    def test_matches_exact_on_independent_events(self, rng):
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        events = [{key} for key in graph.edge_variables()[:3]]
+        exact = exact_union_probability(graph, events)
+        estimate = estimate_union_probability(graph, events, num_samples=3000, rng=rng)
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_matches_exact_on_correlated_graph(self, triangle_graph_001, rng):
+        edges = triangle_graph_001.edge_variables()
+        events = [{edges[0], edges[1]}, {edges[1], edges[2]}]
+        exact = exact_union_probability(triangle_graph_001, events)
+        estimate = estimate_union_probability(
+            triangle_graph_001, events, num_samples=4000, rng=rng
+        )
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_no_events_is_zero(self, rng):
+        graph = make_simple_probabilistic_graph()
+        assert estimate_union_probability(graph, [], rng=rng) == 0.0
+
+    def test_result_clamped_to_unit_interval(self, rng):
+        graph = make_simple_probabilistic_graph(edge_probability=0.95)
+        events = [{key} for key in graph.edge_variables()]
+        estimate = estimate_union_probability(graph, events, num_samples=500, rng=rng)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_default_sample_count_used(self, rng):
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        key = graph.edge_variables()[0]
+        estimate = estimate_union_probability(graph, [{key}], xi=0.2, tau=0.3, rng=rng)
+        assert estimate == pytest.approx(0.5, abs=0.15)

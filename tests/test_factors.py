@@ -1,0 +1,138 @@
+"""Unit tests for the discrete factor algebra."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import FactorError
+from repro.probability import Factor
+
+
+class TestConstruction:
+    def test_basic_table(self):
+        factor = Factor(("x",), {(0,): 0.3, (1,): 0.7})
+        assert factor.total() == pytest.approx(1.0)
+        assert factor.is_normalized()
+
+    def test_bernoulli(self):
+        factor = Factor.from_bernoulli("x", 0.25)
+        assert factor.value({"x": 1}) == pytest.approx(0.25)
+        assert factor.value({"x": 0}) == pytest.approx(0.75)
+
+    def test_bernoulli_rejects_bad_probability(self):
+        with pytest.raises(FactorError):
+            Factor.from_bernoulli("x", 1.5)
+
+    def test_unit_factor(self):
+        unit = Factor.unit()
+        assert unit.total() == pytest.approx(1.0)
+        other = Factor.from_bernoulli("x", 0.4)
+        assert (unit * other) == other
+
+    def test_full_table_ordering(self):
+        factor = Factor.full_table(("a", "b"), [0.1, 0.2, 0.3, 0.4])
+        assert factor.value({"a": 0, "b": 0}) == pytest.approx(0.1)
+        assert factor.value({"a": 1, "b": 1}) == pytest.approx(0.4)
+
+    def test_full_table_wrong_length(self):
+        with pytest.raises(FactorError):
+            Factor.full_table(("a", "b"), [0.1, 0.2])
+
+    def test_rejects_duplicates_and_bad_values(self):
+        with pytest.raises(FactorError):
+            Factor(("x", "x"), {(0, 0): 1.0})
+        with pytest.raises(FactorError):
+            Factor(("x",), {(0,): -0.1})
+        with pytest.raises(FactorError):
+            Factor(("x",), {(2,): 0.5})
+        with pytest.raises(FactorError):
+            Factor(("x",), {(0, 1): 0.5})
+
+
+class TestAlgebra:
+    def test_multiply_independent(self):
+        fa = Factor.from_bernoulli("a", 0.5)
+        fb = Factor.from_bernoulli("b", 0.25)
+        product = fa * fb
+        assert set(product.variables) == {"a", "b"}
+        assert product.value({"a": 1, "b": 1}) == pytest.approx(0.125)
+        assert product.total() == pytest.approx(1.0)
+
+    def test_multiply_shared_variable_joins(self):
+        f1 = Factor(("a", "b"), {(1, 1): 0.5, (0, 1): 0.5})
+        f2 = Factor(("b", "c"), {(1, 1): 0.4, (1, 0): 0.6})
+        product = f1 * f2
+        # b must agree across both factors
+        assert product.value({"a": 1, "b": 1, "c": 1}) == pytest.approx(0.2)
+        assert product.value({"a": 1, "b": 0, "c": 1}) == pytest.approx(0.0)
+
+    def test_marginalize(self):
+        factor = Factor.full_table(("a", "b"), [0.1, 0.2, 0.3, 0.4])
+        marginal = factor.marginalize(["b"])
+        assert marginal.value({"a": 0}) == pytest.approx(0.3)
+        assert marginal.value({"a": 1}) == pytest.approx(0.7)
+
+    def test_marginalize_unknown_variable(self):
+        factor = Factor.from_bernoulli("a", 0.5)
+        with pytest.raises(FactorError):
+            factor.marginalize(["z"])
+
+    def test_condition_slices_without_renormalizing(self):
+        factor = Factor.full_table(("a", "b"), [0.1, 0.2, 0.3, 0.4])
+        sliced = factor.condition({"a": 1})
+        assert sliced.variables == ("b",)
+        assert sliced.value({"b": 0}) == pytest.approx(0.3)
+        assert sliced.total() == pytest.approx(0.7)
+
+    def test_condition_on_absent_variable_is_noop(self):
+        factor = Factor.from_bernoulli("a", 0.5)
+        assert factor.condition({"z": 1}) == factor
+
+    def test_normalize(self):
+        factor = Factor(("x",), {(0,): 2.0, (1,): 6.0})
+        normalized = factor.normalize()
+        assert normalized.value({"x": 1}) == pytest.approx(0.75)
+
+    def test_normalize_zero_mass_raises(self):
+        # zero-valued entries are dropped at construction, leaving no mass
+        factor = Factor(("x",), {(0,): 0.0})
+        with pytest.raises(FactorError):
+            factor.normalize()
+
+    def test_marginal_probability(self):
+        factor = Factor.full_table(("a", "b"), [0.1, 0.2, 0.3, 0.4])
+        assert factor.marginal_probability("a", 1) == pytest.approx(0.7)
+        assert factor.marginal_probability("b", 0) == pytest.approx(0.4)
+
+    def test_product_then_marginalize_matches_direct(self):
+        fa = Factor.from_bernoulli("a", 0.3)
+        fb = Factor.from_bernoulli("b", 0.9)
+        joint = fa * fb
+        assert joint.marginalize(["b"]) == fa
+        assert joint.marginalize(["a"]) == fb
+
+
+class TestSampling:
+    def test_sample_respects_distribution(self):
+        rng = random.Random(3)
+        factor = Factor.from_bernoulli("x", 0.8)
+        draws = [factor.sample(rng)["x"] for _ in range(2000)]
+        assert 0.74 < sum(draws) / len(draws) < 0.86
+
+    def test_sample_zero_mass_raises(self):
+        factor = Factor(("x",), {(1,): 0.0})
+        with pytest.raises(FactorError):
+            factor.sample(random.Random(1))
+
+
+class TestEquality:
+    def test_equality_is_variable_order_independent(self):
+        f1 = Factor(("a", "b"), {(1, 0): 0.5, (0, 1): 0.5})
+        f2 = Factor(("b", "a"), {(0, 1): 0.5, (1, 0): 0.5})
+        assert f1 == f2
+
+    def test_factors_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Factor.unit())

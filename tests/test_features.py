@@ -1,0 +1,75 @@
+"""Tests for feature mining and selection (Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.canonical import canonical_form
+from repro.isomorphism import is_subgraph_isomorphic
+from repro.pmi import FeatureMiner, FeatureSelectionConfig
+
+
+@pytest.fixture(scope="module")
+def mined_features(small_ppi_database):
+    config = FeatureSelectionConfig(
+        alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=20
+    )
+    return FeatureMiner(config).mine(small_ppi_database.graphs), small_ppi_database
+
+
+class TestMining:
+    def test_some_features_are_found(self, mined_features):
+        features, _ = mined_features
+        assert len(features) > 0
+
+    def test_feature_ids_are_unique_and_sequential(self, mined_features):
+        features, _ = mined_features
+        ids = [f.feature_id for f in features]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_features_respect_size_limit(self, mined_features):
+        features, _ = mined_features
+        assert all(f.num_vertices <= 3 for f in features)
+
+    def test_features_are_pairwise_non_isomorphic(self, mined_features):
+        features, _ = mined_features
+        forms = [canonical_form(f.graph) for f in features]
+        assert len(forms) == len(set(forms))
+        assert all(f.canonical == form for f, form in zip(features, forms))
+
+    def test_support_lists_actually_contain_the_feature(self, mined_features):
+        features, database = mined_features
+        for feature in features[:5]:
+            for graph_id in list(feature.support)[:3]:
+                skeleton = database.graphs[graph_id].skeleton
+                assert is_subgraph_isomorphic(feature.graph, skeleton)
+
+    def test_frequency_threshold_respected(self, mined_features):
+        features, database = mined_features
+        # qualified support is a subset of support, so support must already
+        # reach the beta fraction of the database
+        for feature in features:
+            assert len(feature.support) / len(database.graphs) >= 0.2 - 1e-9
+
+    def test_max_features_cap(self, small_ppi_database):
+        config = FeatureSelectionConfig(max_vertices=3, max_features=3, beta=0.1)
+        features = FeatureMiner(config).mine(small_ppi_database.graphs)
+        assert len(features) <= 3
+
+    def test_empty_database(self):
+        assert FeatureMiner().mine([]) == []
+
+    def test_higher_beta_gives_fewer_features(self, small_ppi_database):
+        low = FeatureMiner(
+            FeatureSelectionConfig(beta=0.1, max_vertices=3, max_features=50)
+        ).mine(small_ppi_database.graphs)
+        high = FeatureMiner(
+            FeatureSelectionConfig(beta=0.9, max_vertices=3, max_features=50)
+        ).mine(small_ppi_database.graphs)
+        assert len(high) <= len(low)
+
+    def test_repr_contains_key_facts(self, mined_features):
+        features, _ = mined_features
+        text = repr(features[0])
+        assert "Feature" in text and "support" in text

@@ -1,0 +1,105 @@
+"""Tests for graph serialization and the generic random generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    LabeledGraph,
+    attach_independent_probabilities,
+    io,
+    random_connected_labeled_graph,
+    random_labeled_graph,
+)
+from repro.graphs.possible_worlds import enumerate_possible_worlds
+
+
+class TestLabeledGraphIO:
+    def test_round_trip(self, tmp_path):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "b", 3: "c"}, [(1, 2, "x"), (2, 3, "y")], name="toy"
+        )
+        payload = io.labeled_graph_to_dict(graph)
+        rebuilt = io.labeled_graph_from_dict(payload)
+        assert rebuilt == graph
+        assert rebuilt.name == "toy"
+
+    def test_wrong_payload_type(self):
+        with pytest.raises(GraphError):
+            io.labeled_graph_from_dict({"type": "something-else"})
+
+    def test_collection_round_trip(self, tmp_path):
+        graphs = [
+            LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")], name=f"g{i}")
+            for i in range(3)
+        ]
+        path = tmp_path / "queries.json"
+        io.save_labeled_graphs(graphs, path)
+        loaded = io.load_labeled_graphs(path)
+        assert loaded == graphs
+
+
+class TestProbabilisticGraphIO:
+    def test_round_trip_preserves_distribution(self, triangle_graph_001, tmp_path):
+        payload = io.probabilistic_graph_to_dict(triangle_graph_001)
+        rebuilt = io.probabilistic_graph_from_dict(payload)
+        assert rebuilt.skeleton == triangle_graph_001.skeleton
+        original_worlds = {
+            w.present_edges(): w.probability for w in enumerate_possible_worlds(triangle_graph_001)
+        }
+        rebuilt_worlds = {
+            w.present_edges(): w.probability for w in enumerate_possible_worlds(rebuilt)
+        }
+        assert set(original_worlds) == set(rebuilt_worlds)
+        for key, value in original_worlds.items():
+            assert rebuilt_worlds[key] == pytest.approx(value)
+
+    def test_database_round_trip(self, triangle_graph_001, overlap_graph_002, tmp_path):
+        path = tmp_path / "db.json"
+        io.save_database([triangle_graph_001, overlap_graph_002], path)
+        loaded = io.load_database(path)
+        assert len(loaded) == 2
+        assert loaded[0].skeleton == triangle_graph_001.skeleton
+        assert loaded[1].skeleton == overlap_graph_002.skeleton
+
+    def test_wrong_database_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"type": "nope"}')
+        with pytest.raises(GraphError):
+            io.load_database(path)
+
+
+class TestRandomGenerators:
+    def test_random_labeled_graph_shape(self, rng):
+        graph = random_labeled_graph(10, 15, rng=rng)
+        assert graph.num_vertices == 10
+        assert graph.num_edges == 15
+
+    def test_random_labeled_graph_clamps_edges(self, rng):
+        graph = random_labeled_graph(4, 100, rng=rng)
+        assert graph.num_edges == 6  # complete graph on 4 vertices
+
+    def test_connected_generator_is_connected(self, rng):
+        for _ in range(5):
+            graph = random_connected_labeled_graph(12, 15, rng=rng)
+            assert graph.is_connected()
+            assert graph.num_vertices == 12
+            assert graph.num_edges >= 11
+
+    def test_connected_generator_single_vertex(self, rng):
+        graph = random_connected_labeled_graph(1, 0, rng=rng)
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+    def test_connected_generator_rejects_zero_vertices(self, rng):
+        with pytest.raises(ValueError):
+            random_connected_labeled_graph(0, 0, rng=rng)
+
+    def test_attach_probabilities(self, rng):
+        skeleton = random_connected_labeled_graph(10, 14, rng=rng)
+        graph = attach_independent_probabilities(skeleton, mean_probability=0.5, rng=rng)
+        assert graph.num_edges == skeleton.num_edges
+        assert 0.05 <= graph.average_edge_probability() <= 0.95
+        for factor in graph.factors:
+            assert factor.jpt.is_normalized()

@@ -1,0 +1,206 @@
+"""Unit tests for the labeled graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graphs import LabeledGraph
+from repro.graphs.labeled_graph import Edge, edge_key
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = LabeledGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert graph.is_connected()
+
+    def test_add_vertices_and_edges(self):
+        graph = LabeledGraph(name="toy")
+        graph.add_vertex(1, "a")
+        graph.add_vertex(2, "b")
+        graph.add_edge(1, 2, "x")
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 1
+        assert graph.vertex_label(1) == "a"
+        assert graph.edge_label(1, 2) == "x"
+        assert graph.edge_label(2, 1) == "x"
+
+    def test_from_edges_builder(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "b", 3: "c"}, [(1, 2, "x"), (2, 3)], name="built"
+        )
+        assert graph.num_edges == 2
+        assert graph.edge_label(2, 3) is None
+        assert graph.name == "built"
+
+    def test_re_adding_vertex_overwrites_label(self):
+        graph = LabeledGraph()
+        graph.add_vertex(1, "a")
+        graph.add_vertex(1, "b")
+        assert graph.vertex_label(1) == "b"
+        assert graph.num_vertices == 1
+
+    def test_edge_requires_existing_vertices(self):
+        graph = LabeledGraph()
+        graph.add_vertex(1, "a")
+        with pytest.raises(VertexNotFoundError):
+            graph.add_edge(1, 2, "x")
+
+    def test_self_loops_rejected(self):
+        graph = LabeledGraph()
+        graph.add_vertex(1, "a")
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1, "x")
+
+    def test_copy_is_independent(self):
+        graph = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")])
+        clone = graph.copy()
+        clone.remove_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 0
+
+
+class TestEdgeKey:
+    def test_edge_key_is_order_independent(self):
+        assert edge_key(1, 2) == edge_key(2, 1)
+
+    def test_edge_dataclass(self):
+        edge = Edge(2, 1, "x")
+        assert edge.key() == (1, 2)
+        assert edge.endpoints() == frozenset({1, 2})
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+        with pytest.raises(VertexNotFoundError):
+            edge.other(5)
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        graph = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")])
+        graph.remove_edge(2, 1)
+        assert graph.num_edges == 0
+        assert not graph.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        graph = LabeledGraph.from_edges({1: "a", 2: "b"}, [])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "b", 3: "c"}, [(1, 2, "x"), (2, 3, "y")]
+        )
+        graph.remove_vertex(2)
+        assert graph.num_vertices == 2
+        assert graph.num_edges == 0
+
+    def test_remove_isolated_vertices(self):
+        graph = LabeledGraph.from_edges({1: "a", 2: "b", 3: "c"}, [(1, 2, "x")])
+        removed = graph.remove_isolated_vertices()
+        assert removed == [3]
+        assert graph.num_vertices == 2
+
+
+class TestInspection:
+    def test_neighbors_and_degree(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "b", 3: "c"}, [(1, 2, "x"), (1, 3, "y")]
+        )
+        assert sorted(graph.neighbors(1)) == [2, 3]
+        assert graph.degree(1) == 2
+        assert graph.degree(2) == 1
+        with pytest.raises(VertexNotFoundError):
+            graph.degree(9)
+
+    def test_incident_edges(self):
+        graph = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")])
+        incident = graph.incident_edges(1)
+        assert len(incident) == 1
+        assert incident[0].label == "x"
+
+    def test_label_counts(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "a", 3: "b"}, [(1, 2, "x"), (2, 3, "x")]
+        )
+        assert graph.vertex_label_counts() == {"a": 2, "b": 1}
+        assert graph.edge_label_counts() == {"x": 2}
+
+    def test_edge_signature_counts(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "a", 3: "b"}, [(1, 2, "x"), (2, 3, "x")]
+        )
+        signatures = graph.edge_signature_counts()
+        assert sum(signatures.values()) == 2
+        assert signatures[(("'a'", "'a'"), "x")] == 1
+
+    def test_contains_and_len(self):
+        graph = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")])
+        assert 1 in graph
+        assert 9 not in graph
+        assert len(graph) == 2
+
+    def test_equality_is_structural(self):
+        g1 = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")])
+        g2 = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")])
+        g3 = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "y")])
+        assert g1 == g2
+        assert g1 != g3
+
+    def test_graphs_are_unhashable(self):
+        graph = LabeledGraph()
+        with pytest.raises(TypeError):
+            hash(graph)
+
+
+class TestStructure:
+    def test_connectivity(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "b", 3: "c", 4: "d"}, [(1, 2, "x"), (3, 4, "y")]
+        )
+        assert not graph.is_connected()
+        components = graph.connected_components()
+        assert len(components) == 2
+        graph.add_edge(2, 3, "z")
+        assert graph.is_connected()
+
+    def test_triangles(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "b", 3: "c", 4: "d"},
+            [(1, 2, "x"), (2, 3, "x"), (1, 3, "x"), (3, 4, "x")],
+        )
+        triangles = graph.triangles()
+        assert triangles == [(1, 2, 3)]
+
+    def test_subgraph_by_edges(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "b", 3: "c"}, [(1, 2, "x"), (2, 3, "y")]
+        )
+        sub = graph.subgraph_by_edges([(1, 2)])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert sub.vertex_label(1) == "a"
+        with pytest.raises(EdgeNotFoundError):
+            graph.subgraph_by_edges([(1, 3)])
+
+    def test_subgraph_by_vertices(self):
+        graph = LabeledGraph.from_edges(
+            {1: "a", 2: "b", 3: "c"}, [(1, 2, "x"), (2, 3, "y"), (1, 3, "z")]
+        )
+        sub = graph.subgraph_by_vertices([1, 2])
+        assert sub.num_edges == 1
+        assert sub.has_edge(1, 2)
+
+    def test_relabel_vertices(self):
+        graph = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")])
+        renamed = graph.relabel_vertices({1: "u", 2: "v"})
+        assert renamed.has_edge("u", "v")
+        assert renamed.vertex_label("u") == "a"
+        # original untouched
+        assert graph.has_edge(1, 2)
+
+    def test_relabel_must_be_injective(self):
+        graph = LabeledGraph.from_edges({1: "a", 2: "b"}, [(1, 2, "x")])
+        with pytest.raises(GraphError):
+            graph.relabel_vertices({1: "u", 2: "u"})

@@ -1,0 +1,81 @@
+"""Tests for the Probabilistic Matrix Index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.isomorphism import is_subgraph_isomorphic
+from repro.pmi import BoundConfig, FeatureSelectionConfig, ProbabilisticMatrixIndex
+
+
+@pytest.fixture(scope="module")
+def built_index(small_ppi_database):
+    index = ProbabilisticMatrixIndex(
+        feature_config=FeatureSelectionConfig(
+            alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=12
+        ),
+        bound_config=BoundConfig(num_samples=80),
+    )
+    index.build(small_ppi_database.graphs, rng=5)
+    return index, small_ppi_database
+
+
+class TestBuild:
+    def test_requires_build_before_lookup(self):
+        index = ProbabilisticMatrixIndex()
+        with pytest.raises(IndexError_):
+            index.bounds_for_graph(0)
+        with pytest.raises(IndexError_):
+            index.entries()
+
+    def test_build_fills_rows_for_every_graph(self, built_index):
+        index, database = built_index
+        for graph_id in range(len(database.graphs)):
+            row = index.bounds_for_graph(graph_id)
+            assert isinstance(row, dict)
+
+    def test_non_empty_cells_only_for_contained_features(self, built_index):
+        index, database = built_index
+        for entry in index.entries()[:30]:
+            feature = index.feature_by_id(entry.feature_id)
+            skeleton = database.graphs[entry.graph_id].skeleton
+            assert is_subgraph_isomorphic(feature.graph, skeleton)
+
+    def test_bounds_are_valid_probability_intervals(self, built_index):
+        index, _ = built_index
+        for entry in index.entries():
+            assert 0.0 <= entry.bounds.lower <= entry.bounds.upper <= 1.0
+
+    def test_unknown_graph_or_feature(self, built_index):
+        index, _ = built_index
+        with pytest.raises(IndexError_):
+            index.bounds_for_graph(9999)
+        with pytest.raises(IndexError_):
+            index.feature_by_id(9999)
+        assert index.bounds(0, 9999) is None
+
+    def test_graphs_containing_feature_consistent_with_rows(self, built_index):
+        index, _ = built_index
+        feature_id = index.features[0].feature_id
+        containing = index.graphs_containing_feature(feature_id)
+        for graph_id in containing:
+            assert feature_id in index.bounds_for_graph(graph_id)
+
+    def test_summary_and_size(self, built_index):
+        index, database = built_index
+        summary = index.summary()
+        assert summary["database_size"] == len(database.graphs)
+        assert summary["num_features"] == index.num_features
+        assert summary["index_bytes"] > 0
+        assert summary["build_seconds"] >= 0.0
+
+    def test_build_with_precomputed_features(self, built_index, small_ppi_database):
+        index, _ = built_index
+        other = ProbabilisticMatrixIndex(bound_config=BoundConfig(num_samples=40))
+        other.build(small_ppi_database.graphs, features=index.features, rng=1)
+        assert other.num_features == index.num_features
+
+    def test_repr(self, built_index):
+        index, _ = built_index
+        assert "built" in repr(index)

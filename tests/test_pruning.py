@@ -1,0 +1,123 @@
+"""Tests for probabilistic pruning: SSP bounds and the two pruning rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PruningConfig, relax_query
+from repro.core.pruning import ProbabilisticPruner, PruningDecision, SspBounds
+from repro.graphs import LabeledGraph
+from repro.pmi import BoundConfig, compute_sip_bounds
+from repro.pmi.features import Feature
+
+from tests.conftest import make_simple_probabilistic_graph
+
+
+def feature_from(graph, feature_id):
+    from repro.graphs.canonical import canonical_form
+
+    return Feature(
+        feature_id=feature_id, graph=graph, support=frozenset(), canonical=canonical_form(graph)
+    )
+
+
+def single_edge(label_u="a", label_v="b", edge_label="x"):
+    graph = LabeledGraph()
+    graph.add_vertex(0, label_u)
+    graph.add_vertex(1, label_v)
+    graph.add_edge(0, 1, edge_label)
+    return graph
+
+
+def two_edge_path():
+    graph = LabeledGraph()
+    graph.add_vertex(0, "a")
+    graph.add_vertex(1, "b")
+    graph.add_vertex(2, "a")
+    graph.add_edge(0, 1, "x")
+    graph.add_edge(1, 2, "x")
+    return graph
+
+
+@pytest.fixture
+def pruning_setup(rng):
+    """A small, fully exact setup: features, PMI row and relaxed queries."""
+    graph = make_simple_probabilistic_graph(edge_probability=0.6)
+    features = [feature_from(single_edge(), 0), feature_from(two_edge_path(), 1)]
+    bounds = {
+        f.feature_id: compute_sip_bounds(f.graph, graph, BoundConfig(method="exact"))
+        for f in features
+    }
+    query = two_edge_path()
+    relaxed = relax_query(query, 1)
+    return graph, features, bounds, relaxed
+
+
+class TestBoundsComputation:
+    def test_bounds_are_probability_interval(self, pruning_setup, rng):
+        _, features, graph_bounds, relaxed = pruning_setup
+        pruner = ProbabilisticPruner(features, rng=rng)
+        bounds = pruner.compute_bounds(relaxed, graph_bounds)
+        assert 0.0 <= bounds.lsim <= 1.0
+        assert 0.0 <= bounds.usim <= 1.0
+
+    def test_usim_upper_bounds_true_ssp(self, pruning_setup, rng):
+        """Theorem 3: the Usim derived from the PMI never underestimates SSP."""
+        graph, features, graph_bounds, relaxed = pruning_setup
+        from repro.core.verification import VerificationConfig, Verifier
+
+        pruner = ProbabilisticPruner(features, rng=rng)
+        bounds = pruner.compute_bounds(relaxed, graph_bounds)
+        verifier = Verifier(VerificationConfig(method="inclusion_exclusion"))
+        truth = verifier.subgraph_similarity_probability(
+            two_edge_path(), graph, 1, relaxed_queries=relaxed
+        )
+        if bounds.usim_covered:
+            assert bounds.usim >= truth - 1e-6
+        if bounds.lsim_covered:
+            assert bounds.lsim <= truth + 1e-6
+
+    def test_no_matching_features_means_no_usable_bounds(self, rng):
+        graph = make_simple_probabilistic_graph()
+        odd_feature = feature_from(single_edge("z", "z", "q"), 0)
+        bounds_row = {0: compute_sip_bounds(odd_feature.graph, graph, BoundConfig(method="exact"))}
+        pruner = ProbabilisticPruner([odd_feature], rng=rng)
+        relaxed = relax_query(two_edge_path(), 1)
+        result = pruner.compute_bounds(relaxed, bounds_row)
+        assert not result.usim_covered
+        assert not result.lsim_covered
+        assert result.usim == 1.0
+        assert result.lsim == 0.0
+
+    def test_plain_variant_is_no_tighter_than_opt(self, pruning_setup, rng):
+        _, features, graph_bounds, relaxed = pruning_setup
+        opt = ProbabilisticPruner(features, PruningConfig(True, True), rng=rng).compute_bounds(
+            relaxed, graph_bounds
+        )
+        plain = ProbabilisticPruner(features, PruningConfig(False, False), rng=rng).compute_bounds(
+            relaxed, graph_bounds
+        )
+        if opt.usim_covered and plain.usim_covered:
+            assert opt.usim <= plain.usim + 1e-9
+
+
+class TestDecisions:
+    def test_prune_when_usim_below_threshold(self, rng):
+        pruner = ProbabilisticPruner([], rng=rng)
+        bounds = SspBounds(usim=0.2, lsim=0.0, usim_covered=True, lsim_covered=True)
+        assert pruner.decide(bounds, 0.5) is PruningDecision.PRUNED
+
+    def test_accept_when_lsim_reaches_threshold(self, rng):
+        pruner = ProbabilisticPruner([], rng=rng)
+        bounds = SspBounds(usim=0.9, lsim=0.7, usim_covered=True, lsim_covered=True)
+        assert pruner.decide(bounds, 0.6) is PruningDecision.ACCEPTED
+
+    def test_candidate_when_thresholds_inconclusive(self, rng):
+        pruner = ProbabilisticPruner([], rng=rng)
+        bounds = SspBounds(usim=0.9, lsim=0.1, usim_covered=True, lsim_covered=True)
+        assert pruner.decide(bounds, 0.5) is PruningDecision.CANDIDATE
+
+    def test_uncovered_bounds_never_prune(self, rng):
+        pruner = ProbabilisticPruner([], rng=rng)
+        bounds = SspBounds(usim=0.0, lsim=1.0, usim_covered=False, lsim_covered=False)
+        assert pruner.decide(bounds, 0.5) is PruningDecision.CANDIDATE

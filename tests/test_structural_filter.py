@@ -1,0 +1,90 @@
+"""Tests for the structural (deterministic) pruning stage (Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import extract_query
+from repro.isomorphism import is_subgraph_similar
+from repro.pmi import FeatureMiner, FeatureSelectionConfig
+from repro.structural import StructuralFeatureIndex, StructuralFilter
+
+
+@pytest.fixture(scope="module")
+def structural_setup(small_ppi_database):
+    skeletons = [graph.skeleton for graph in small_ppi_database.graphs]
+    features = FeatureMiner(
+        FeatureSelectionConfig(alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=12)
+    ).mine(small_ppi_database.graphs)
+    index = StructuralFeatureIndex().build(skeletons, features)
+    return index, skeletons, small_ppi_database
+
+
+class TestFeatureIndex:
+    def test_counts_are_nonnegative(self, structural_setup):
+        index, skeletons, _ = structural_setup
+        for graph_id in index.graph_ids():
+            for count in index.counts_for_graph(graph_id).values():
+                assert count > 0
+
+    def test_query_profile_shape(self, structural_setup):
+        index, skeletons, _ = structural_setup
+        query = extract_query(skeletons[0], 4, rng=3)
+        profile = index.query_profile(query)
+        for stats in profile.values():
+            assert stats["count"] >= 1
+            assert stats["max_hits_per_edge"] >= 1
+
+    def test_unbuilt_filter_rejected(self, structural_setup):
+        _, skeletons, _ = structural_setup
+        with pytest.raises(ValueError):
+            StructuralFilter(StructuralFeatureIndex(), skeletons)
+
+
+class TestFilterSoundness:
+    def test_source_graph_survives(self, structural_setup):
+        """A query extracted from graph i must keep graph i as a candidate."""
+        index, skeletons, _ = structural_setup
+        structural_filter = StructuralFilter(index, skeletons)
+        for source in range(3):
+            query = extract_query(skeletons[source], 4, rng=source + 10)
+            result = structural_filter.filter(query, distance_threshold=1)
+            assert source in result.candidate_ids
+
+    def test_no_false_dismissals(self, structural_setup):
+        """Any graph that is truly subgraph-similar must never be pruned."""
+        index, skeletons, _ = structural_setup
+        structural_filter = StructuralFilter(index, skeletons)
+        query = extract_query(skeletons[1], 4, rng=21)
+        result = structural_filter.filter(query, distance_threshold=2)
+        pruned = set(result.pruned_ids)
+        for graph_id, skeleton in enumerate(skeletons):
+            if graph_id in pruned:
+                assert not is_subgraph_similar(query, skeleton, 2)
+
+    def test_candidates_and_pruned_partition_database(self, structural_setup):
+        index, skeletons, _ = structural_setup
+        structural_filter = StructuralFilter(index, skeletons)
+        query = extract_query(skeletons[2], 5, rng=4)
+        result = structural_filter.filter(query, distance_threshold=1)
+        assert sorted(result.candidate_ids + result.pruned_ids) == list(range(len(skeletons)))
+        assert result.candidate_count == len(result.candidate_ids)
+        assert result.seconds >= 0.0
+
+    def test_larger_threshold_prunes_no_more(self, structural_setup):
+        index, skeletons, _ = structural_setup
+        structural_filter = StructuralFilter(index, skeletons)
+        query = extract_query(skeletons[0], 5, rng=17)
+        tight = structural_filter.filter(query, distance_threshold=1)
+        loose = structural_filter.filter(query, distance_threshold=3)
+        assert set(tight.candidate_ids) <= set(loose.candidate_ids)
+
+    def test_exact_check_mode_is_a_subset(self, structural_setup):
+        index, skeletons, _ = structural_setup
+        query = extract_query(skeletons[0], 4, rng=8)
+        plain = StructuralFilter(index, skeletons).filter(query, 1)
+        exact = StructuralFilter(index, skeletons, exact_check=True).filter(query, 1)
+        assert set(exact.candidate_ids) <= set(plain.candidate_ids)
+        # exactness: every exact candidate really is subgraph-similar
+        for graph_id in exact.candidate_ids:
+            assert is_subgraph_similar(query, skeletons[graph_id], 1)

@@ -1,0 +1,117 @@
+"""Tests for SSP verification (exact, enumeration and the SMP sampler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import VerificationConfig, Verifier
+from repro.exceptions import VerificationError
+from repro.graphs import LabeledGraph
+
+from tests.conftest import make_simple_probabilistic_graph
+
+
+def path_query():
+    query = LabeledGraph(name="q")
+    query.add_vertex(0, "a")
+    query.add_vertex(1, "b")
+    query.add_vertex(2, "a")
+    query.add_edge(0, 1, "x")
+    query.add_edge(1, 2, "x")
+    return query
+
+
+class TestEnumerationGroundTruth:
+    def test_enumeration_matches_hand_computation(self):
+        """Query = single a-b edge, distance 0: SSP = Pr(at least one of the
+        four a-b edges is present) = 1 - (1-p)^4."""
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        query = LabeledGraph()
+        query.add_vertex(0, "a")
+        query.add_vertex(1, "b")
+        query.add_edge(0, 1, "x")
+        verifier = Verifier(VerificationConfig(method="enumeration"))
+        ssp = verifier.subgraph_similarity_probability(query, graph, 0)
+        assert ssp == pytest.approx(1 - 0.5**4)
+
+    def test_enumeration_size_guard(self, small_ppi_database):
+        verifier = Verifier(VerificationConfig(method="enumeration", max_enumeration_edges=4))
+        with pytest.raises(VerificationError):
+            verifier.subgraph_similarity_probability(
+                path_query(), small_ppi_database.graphs[0], 1
+            )
+
+
+class TestExactInclusionExclusion:
+    @pytest.mark.parametrize("delta", [0, 1])
+    def test_matches_enumeration(self, delta):
+        graph = make_simple_probabilistic_graph(edge_probability=0.6)
+        query = path_query()
+        exact = Verifier(VerificationConfig(method="inclusion_exclusion"))
+        brute = Verifier(VerificationConfig(method="enumeration"))
+        assert exact.subgraph_similarity_probability(query, graph, delta) == pytest.approx(
+            brute.subgraph_similarity_probability(query, graph, delta), abs=1e-9
+        )
+
+    def test_matches_enumeration_on_correlated_graph(self, triangle_graph_001):
+        query = LabeledGraph()
+        query.add_vertex(0, "a")
+        query.add_vertex(1, "b")
+        query.add_vertex(2, "c")
+        query.add_edge(0, 1, "e")
+        query.add_edge(1, 2, "e")
+        exact = Verifier(VerificationConfig(method="inclusion_exclusion"))
+        brute = Verifier(VerificationConfig(method="enumeration"))
+        for delta in (0, 1):
+            assert exact.subgraph_similarity_probability(
+                query, triangle_graph_001, delta
+            ) == pytest.approx(
+                brute.subgraph_similarity_probability(query, triangle_graph_001, delta),
+                abs=1e-9,
+            )
+
+    def test_zero_probability_when_query_label_missing(self):
+        graph = make_simple_probabilistic_graph()
+        query = LabeledGraph()
+        query.add_vertex(0, "zz")
+        query.add_vertex(1, "zz")
+        query.add_edge(0, 1, "q")
+        verifier = Verifier(VerificationConfig(method="inclusion_exclusion"))
+        assert verifier.subgraph_similarity_probability(query, graph, 0) == 0.0
+
+
+class TestSamplingVerifier:
+    def test_sampler_close_to_exact(self, rng):
+        graph = make_simple_probabilistic_graph(edge_probability=0.6)
+        query = path_query()
+        exact = Verifier(VerificationConfig(method="inclusion_exclusion"))
+        sampler = Verifier(VerificationConfig(method="sampling", num_samples=4000), rng=rng)
+        truth = exact.subgraph_similarity_probability(query, graph, 1)
+        estimate = sampler.subgraph_similarity_probability(query, graph, 1)
+        assert estimate == pytest.approx(truth, abs=0.05)
+
+    def test_sampler_on_correlated_graph(self, triangle_graph_001, rng):
+        query = LabeledGraph()
+        query.add_vertex(0, "a")
+        query.add_vertex(1, "b")
+        query.add_edge(0, 1, "e")
+        exact = Verifier(VerificationConfig(method="inclusion_exclusion"))
+        sampler = Verifier(VerificationConfig(method="sampling", num_samples=4000), rng=rng)
+        truth = exact.subgraph_similarity_probability(query, triangle_graph_001, 0)
+        estimate = sampler.subgraph_similarity_probability(query, triangle_graph_001, 0)
+        assert estimate == pytest.approx(truth, abs=0.05)
+
+    def test_matches_predicate(self, rng):
+        graph = make_simple_probabilistic_graph(edge_probability=0.6)
+        verifier = Verifier(VerificationConfig(method="inclusion_exclusion"), rng=rng)
+        is_answer, probability = verifier.matches(path_query(), graph, 0.05, 1)
+        assert is_answer
+        assert probability > 0.05
+        is_answer_high, _ = verifier.matches(path_query(), graph, 0.999, 1)
+        assert not is_answer_high
+
+    def test_unknown_method_rejected(self):
+        graph = make_simple_probabilistic_graph()
+        verifier = Verifier(VerificationConfig(method="bogus"))
+        with pytest.raises(VerificationError):
+            verifier.subgraph_similarity_probability(path_query(), graph, 1)
