@@ -39,12 +39,14 @@ from repro.isomorphism import (
 )
 from repro.pmi import (
     ProbabilisticMatrixIndex,
+    PMIRow,
     BoundConfig,
     FeatureSelectionConfig,
     compute_sip_bounds,
 )
 from repro.core import (
     ProbabilisticGraphDatabase,
+    QueryPlanner,
     SearchConfig,
     Verifier,
     VerificationConfig,
@@ -53,6 +55,7 @@ from repro.core import (
     PruningConfig,
     QueryResult,
     QueryAnswer,
+    aggregate_statistics,
 )
 from repro.baselines import ExactScanBaseline, to_independent_model
 from repro.datasets import (
@@ -76,11 +79,14 @@ __all__ = [
     "subgraph_distance",
     "is_subgraph_similar",
     "ProbabilisticMatrixIndex",
+    "PMIRow",
     "BoundConfig",
     "FeatureSelectionConfig",
     "compute_sip_bounds",
     "ProbabilisticGraphDatabase",
+    "QueryPlanner",
     "SearchConfig",
+    "aggregate_statistics",
     "Verifier",
     "VerificationConfig",
     "relax_query",

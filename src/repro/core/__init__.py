@@ -1,12 +1,20 @@
 """Query-processing core: relaxation, tightest SSP bounds, pruning
-conditions, verification, and the end-to-end search engine."""
+conditions, verification, the reusable query planner, and the end-to-end
+search engine."""
 
 from repro.core.relaxation import relax_query, RelaxationConfig
 from repro.core.set_cover import greedy_weighted_set_cover, exhaustive_weighted_set_cover
 from repro.core.quadratic_program import solve_lsim_rounding, QPResult
-from repro.core.pruning import ProbabilisticPruner, PruningConfig, PruningDecision, SspBounds
+from repro.core.pruning import (
+    FeatureContainment,
+    ProbabilisticPruner,
+    PruningConfig,
+    PruningDecision,
+    SspBounds,
+)
 from repro.core.verification import Verifier, VerificationConfig
-from repro.core.results import QueryAnswer, QueryResult, QueryStatistics
+from repro.core.results import QueryAnswer, QueryResult, QueryStatistics, aggregate_statistics
+from repro.core.planner import QueryPlan, QueryPlanner
 from repro.core.search_engine import ProbabilisticGraphDatabase, SearchConfig
 
 __all__ = [
@@ -17,6 +25,7 @@ __all__ = [
     "exhaustive_weighted_set_cover",
     "solve_lsim_rounding",
     "QPResult",
+    "FeatureContainment",
     "ProbabilisticPruner",
     "PruningConfig",
     "PruningDecision",
@@ -25,6 +34,9 @@ __all__ = [
     "VerificationConfig",
     "QueryAnswer",
     "QueryStatistics",
+    "aggregate_statistics",
+    "QueryPlan",
+    "QueryPlanner",
     "ProbabilisticGraphDatabase",
     "SearchConfig",
 ]

@@ -1,0 +1,299 @@
+"""The reusable query planner: one plan object per workload, not per query.
+
+The seed engine rebuilt its :class:`StructuralFilter`, its
+:class:`ProbabilisticPruner` (including the feature dictionary) and its
+:class:`Verifier` from scratch inside every ``query()`` call, and recomputed
+the feature-vs-relaxed-query containment relations once *per candidate
+graph*.  :class:`QueryPlanner` splits that work by lifetime:
+
+* **per database** (planner construction): the structural filter over the
+  skeletons, the pruner over the PMI's features, the default verifier;
+* **per query** (:meth:`plan`): query relaxation (Lemma 1) and one shared
+  containment pass (one VF2 round per feature);
+* **per candidate** (:meth:`execute_plan`): columnar PMI row reads and the
+  bound computations, with the final pruned/accepted partition decided in a
+  single vectorized array pass.
+
+``ProbabilisticGraphDatabase.build_index()`` constructs the planner once;
+``query()`` is a thin ``plan`` + ``execute_plan`` and ``query_many()``
+amortizes the per-database setup across a whole workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pruning import FeatureContainment, ProbabilisticPruner
+from repro.core.relaxation import relax_query
+from repro.core.results import QueryAnswer, QueryResult, QueryStatistics
+from repro.core.verification import Verifier
+from repro.exceptions import QueryError
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.probabilistic_graph import ProbabilisticGraph
+from repro.pmi.index import ProbabilisticMatrixIndex
+from repro.structural.feature_index import StructuralFeatureIndex
+from repro.structural.similarity_filter import StructuralFilter
+from repro.utils.rng import RandomLike, ensure_rng
+from repro.utils.timer import Timer
+
+
+def validate_query(
+    query_graph: LabeledGraph, probability_threshold: float, distance_threshold: int
+) -> None:
+    """Reject malformed T-PS queries before any pipeline work starts."""
+    if query_graph.num_edges == 0:
+        raise QueryError("query graph must contain at least one edge")
+    if not query_graph.is_connected():
+        raise QueryError("query graph must be connected")
+    if not 0.0 < probability_threshold <= 1.0:
+        raise QueryError(
+            f"probability threshold must be in (0, 1], got {probability_threshold!r}"
+        )
+    if distance_threshold < 0:
+        raise QueryError("distance threshold must be >= 0")
+    if distance_threshold >= query_graph.num_edges:
+        raise QueryError(
+            "distance threshold must be smaller than the number of query edges"
+        )
+
+
+@dataclass
+class QueryPlan:
+    """Everything derivable from (query, thresholds, config) alone.
+
+    The plan is reusable: executing it twice (or against a reloaded PMI)
+    yields the same candidate partition, so workloads can relax and prepare
+    once and execute many times.
+    """
+
+    query: LabeledGraph
+    probability_threshold: float
+    distance_threshold: int
+    config: "SearchConfig"
+    relaxed_queries: list[LabeledGraph] = field(default_factory=list)
+    containment: dict[int, FeatureContainment] = field(default_factory=dict)
+
+
+class QueryPlanner:
+    """Owns the three pipeline stages for one indexed database."""
+
+    def __init__(
+        self,
+        graphs: list[ProbabilisticGraph],
+        pmi: ProbabilisticMatrixIndex,
+        structural_index: StructuralFeatureIndex,
+    ) -> None:
+        self.graphs = graphs
+        self.pmi = pmi
+        self.structural_index = structural_index
+        self.skeletons = [graph.skeleton for graph in graphs]
+        self.structural_filter = StructuralFilter(structural_index, self.skeletons)
+        self.pruner = ProbabilisticPruner(pmi.features)
+        self._default_verifier: Verifier | None = None
+
+    def _pruner_for(self, plan: QueryPlan) -> ProbabilisticPruner:
+        """The planner-owned pruner, rebuilt only when the config changes."""
+        if plan.config.pruning != self.pruner.config:
+            self.pruner = ProbabilisticPruner(
+                self.pmi.features, config=plan.config.pruning
+            )
+        return self.pruner
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        query: LabeledGraph,
+        probability_threshold: float,
+        distance_threshold: int,
+        config: "SearchConfig | None" = None,
+    ) -> QueryPlan:
+        """Relax the query and precompute the shared containment relations."""
+        from repro.core.search_engine import SearchConfig
+
+        validate_query(query, probability_threshold, distance_threshold)
+        cfg = config or SearchConfig()
+        relaxed = relax_query(query, distance_threshold, cfg.relaxation)
+        containment = (
+            self.pruner.prepare(relaxed) if cfg.use_probabilistic_pruning else {}
+        )
+        return QueryPlan(
+            query=query,
+            probability_threshold=probability_threshold,
+            distance_threshold=distance_threshold,
+            config=cfg,
+            relaxed_queries=relaxed,
+            containment=containment,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: LabeledGraph,
+        probability_threshold: float,
+        distance_threshold: int,
+        config: "SearchConfig | None" = None,
+        rng: RandomLike = None,
+    ) -> QueryResult:
+        """Plan and execute one query."""
+        return self.execute_plan(
+            self.plan(query, probability_threshold, distance_threshold, config), rng=rng
+        )
+
+    def execute_many(
+        self,
+        queries: list[LabeledGraph],
+        probability_threshold: float,
+        distance_threshold: int,
+        config: "SearchConfig | None" = None,
+        rng: RandomLike = None,
+    ) -> list[QueryResult]:
+        """Execute a workload against the shared plan machinery.
+
+        The per-database stage objects (structural filter, pruner, verifier)
+        are reused across the whole batch.  ``rng`` semantics match repeated
+        ``query()`` calls: an int seed (or ``None``) is re-normalized per
+        query, so ``query_many(qs, ..., rng=7)`` returns exactly the answers
+        of ``[query(q, ..., rng=7) for q in qs]``; a shared ``random.Random``
+        instance is consumed sequentially across the batch.
+        """
+        return [
+            self.execute(
+                query, probability_threshold, distance_threshold, config, rng=rng
+            )
+            for query in queries
+        ]
+
+    def execute_plan(self, plan: QueryPlan, rng: RandomLike = None) -> QueryResult:
+        """Run the three pipeline stages of Section 1.2 for one plan."""
+        generator = ensure_rng(rng)
+        result = QueryResult()
+        stats = result.statistics
+        stats.database_size = len(self.graphs)
+        total_timer = Timer()
+        with total_timer:
+            stats.relaxed_query_count = len(plan.relaxed_queries)
+            candidate_ids = self._structural_stage(plan, stats)
+            candidate_ids, accepted = self._probabilistic_stage(
+                plan, candidate_ids, stats, generator
+            )
+            for graph_id, lower_bound in accepted:
+                result.answers.append(
+                    QueryAnswer(
+                        graph_id=graph_id,
+                        graph_name=self.graphs[graph_id].name,
+                        probability=lower_bound,
+                        decided_by="lower_bound",
+                    )
+                )
+            self._verification_stage(plan, candidate_ids, stats, result, generator)
+        stats.total_seconds = total_timer.elapsed
+        stats.answers = len(result.answers)
+        result.answers.sort(key=lambda a: (-a.probability, a.graph_id))
+        return result
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def _structural_stage(self, plan: QueryPlan, stats: QueryStatistics) -> list[int]:
+        if not plan.config.use_structural_pruning:
+            stats.structural_candidates = len(self.graphs)
+            return list(range(len(self.graphs)))
+        outcome = self.structural_filter.filter(plan.query, plan.distance_threshold)
+        stats.structural_candidates = outcome.candidate_count
+        stats.structural_seconds = outcome.seconds
+        return outcome.candidate_ids
+
+    def _probabilistic_stage(
+        self,
+        plan: QueryPlan,
+        candidate_ids: list[int],
+        stats: QueryStatistics,
+        rng,
+    ) -> tuple[list[int], list[tuple[int, float]]]:
+        if not plan.config.use_probabilistic_pruning:
+            stats.probabilistic_candidates = len(candidate_ids)
+            return candidate_ids, []
+        pruner = self._pruner_for(plan)
+        timer = Timer()
+        with timer:
+            bounds_list = [
+                pruner.compute_bounds_from_row(
+                    plan.relaxed_queries,
+                    self.pmi.row(graph_id),
+                    plan.containment,
+                    rng=rng,
+                )
+                for graph_id in candidate_ids
+            ]
+            pruned_mask, accepted_mask = pruner.decide_batch(
+                bounds_list, plan.probability_threshold
+            )
+            remaining = [
+                graph_id
+                for graph_id, pruned, accepted_flag in zip(
+                    candidate_ids, pruned_mask, accepted_mask
+                )
+                if not pruned and not accepted_flag
+            ]
+            accepted = [
+                (graph_id, bounds.lsim)
+                for graph_id, bounds, accepted_flag in zip(
+                    candidate_ids, bounds_list, accepted_mask
+                )
+                if accepted_flag
+            ]
+        stats.pruned_by_upper_bound = int(pruned_mask.sum())
+        stats.accepted_by_lower_bound = int(accepted_mask.sum())
+        stats.probabilistic_seconds = timer.elapsed
+        stats.probabilistic_candidates = len(remaining) + len(accepted)
+        return remaining, accepted
+
+    def _verification_stage(
+        self,
+        plan: QueryPlan,
+        candidate_ids: list[int],
+        stats: QueryStatistics,
+        result: QueryResult,
+        rng,
+    ) -> None:
+        verifier = self._verifier_for(plan)
+        verifier.rng = rng
+        timer = Timer()
+        with timer:
+            for graph_id in candidate_ids:
+                stats.verified += 1
+                is_answer, probability = verifier.matches(
+                    plan.query,
+                    self.graphs[graph_id],
+                    plan.probability_threshold,
+                    plan.distance_threshold,
+                    relaxed_queries=plan.relaxed_queries,
+                )
+                if is_answer:
+                    result.answers.append(
+                        QueryAnswer(
+                            graph_id=graph_id,
+                            graph_name=self.graphs[graph_id].name,
+                            probability=probability,
+                            decided_by="verification",
+                        )
+                    )
+        stats.verification_seconds = timer.elapsed
+
+    def _verifier_for(self, plan: QueryPlan) -> Verifier:
+        """The planner-owned verifier, rebuilt only when the config changes."""
+        verifier = self._default_verifier
+        if (
+            verifier is None
+            or verifier.config != plan.config.verification
+            or verifier.relaxation != plan.config.relaxation
+        ):
+            verifier = Verifier(
+                config=plan.config.verification, relaxation=plan.config.relaxation
+            )
+            self._default_verifier = verifier
+        return verifier

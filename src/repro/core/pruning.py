@@ -14,6 +14,14 @@ The *tightest* bounds use weighted set cover (Algorithm 1) and the QP
 rounding scheme (Algorithm 2); the plain variants pick one arbitrary feature
 per relaxed query, matching the SSPBound / OPT-SSPBound split in the paper's
 experiments.
+
+The feature-vs-relaxed-query containment relations depend only on the query,
+not on the candidate graph, so :meth:`ProbabilisticPruner.prepare` computes
+them once per query (one VF2 pass per feature) and every candidate reuses
+them.  On the hot path the pruner reads SIP intervals straight from the PMI's
+columnar row views (:meth:`compute_bounds_from_row`) and the final
+pruned/accepted decision over a whole candidate set is one vectorized array
+pass (:meth:`decide_batch`).
 """
 
 from __future__ import annotations
@@ -21,12 +29,15 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.quadratic_program import QPSet, solve_lsim_rounding
 from repro.core.set_cover import WeightedSet, greedy_weighted_set_cover
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.isomorphism.vf2 import is_subgraph_isomorphic
 from repro.pmi.bounds import SipBounds
 from repro.pmi.features import Feature
+from repro.pmi.index import PMIRow
 from repro.utils.rng import RandomLike, ensure_rng
 
 
@@ -46,6 +57,24 @@ class SspBounds:
     lsim: float
     usim_covered: bool
     lsim_covered: bool
+
+
+@dataclass(frozen=True)
+class FeatureContainment:
+    """Query-only containment relations of one feature.
+
+    ``sub_of`` holds relaxed-query indices i with ``f ⊆iso rqi`` (feature
+    inside the relaxed query, used for the upper bound); ``super_of`` holds
+    indices with ``rqi ⊆iso f`` (feature contains the relaxed query, used for
+    the lower bound).
+    """
+
+    sub_of: frozenset
+    super_of: frozenset
+
+    @property
+    def is_useful(self) -> bool:
+        return bool(self.sub_of) or bool(self.super_of)
 
 
 @dataclass(frozen=True)
@@ -72,10 +101,30 @@ class ProbabilisticPruner:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def prepare(
+        self, relaxed_queries: list[LabeledGraph]
+    ) -> dict[int, FeatureContainment]:
+        """Containment relations of *every* feature against the relaxed set.
+
+        These relations are independent of the candidate graph, so a query
+        computes them exactly once and shares them across all candidates
+        (the seed recomputed this VF2 work per candidate graph).  Features
+        related to no relaxed query can never contribute a bound candidate,
+        so they are dropped here and the per-candidate loop skips them.
+        """
+        relations = self._containment_for(self.features, relaxed_queries)
+        return {
+            feature_id: containment
+            for feature_id, containment in relations.items()
+            if containment.is_useful
+        }
+
     def compute_bounds(
         self,
         relaxed_queries: list[LabeledGraph],
         graph_bounds: dict[int, SipBounds],
+        containment: dict[int, FeatureContainment] | None = None,
+        rng: RandomLike = None,
     ) -> SspBounds:
         """Compute ``(Usim, Lsim)`` for one graph.
 
@@ -86,13 +135,39 @@ class ProbabilisticPruner:
         graph_bounds:
             The graph's PMI row ``Dg`` — {feature_id: SipBounds} restricted to
             features present in the graph's skeleton.
+        containment:
+            Optional precomputed relations from :meth:`prepare`; computed on
+            the fly (restricted to ``graph_bounds``) when omitted.
         """
-        containment = self._containment_relations(relaxed_queries, graph_bounds)
-        usim, usim_covered = self._upper_bound(relaxed_queries, graph_bounds, containment)
-        lsim, lsim_covered = self._lower_bound(relaxed_queries, graph_bounds, containment)
-        return SspBounds(
-            usim=usim, lsim=lsim, usim_covered=usim_covered, lsim_covered=lsim_covered
-        )
+        if containment is None:
+            containment = self._containment_for(graph_bounds, relaxed_queries)
+        intervals = {
+            feature_id: bounds.as_pair()
+            for feature_id, bounds in graph_bounds.items()
+            if feature_id in containment
+        }
+        return self._bounds_from_intervals(relaxed_queries, intervals, containment, rng)
+
+    def compute_bounds_from_row(
+        self,
+        relaxed_queries: list[LabeledGraph],
+        row: PMIRow,
+        containment: dict[int, FeatureContainment],
+        rng: RandomLike = None,
+    ) -> SspBounds:
+        """Hot-path variant of :meth:`compute_bounds` over a columnar PMI row.
+
+        Reads ``(LowerB, UpperB)`` straight from the row's array views,
+        building only a small interval map for the features that are both
+        present in the graph and useful for the query — no per-candidate
+        full-row dict copies or ``SipBounds`` reconstruction.
+        """
+        intervals: dict[int, tuple[float, float]] = {}
+        for column in np.flatnonzero(row.present):
+            feature_id = int(row.feature_ids[column])
+            if feature_id in containment:
+                intervals[feature_id] = row.interval(column)
+        return self._bounds_from_intervals(relaxed_queries, intervals, containment, rng)
 
     def decide(self, bounds: SspBounds, probability_threshold: float) -> PruningDecision:
         """Apply the two pruning conditions to the computed bounds."""
@@ -102,23 +177,39 @@ class ProbabilisticPruner:
             return PruningDecision.ACCEPTED
         return PruningDecision.CANDIDATE
 
+    @staticmethod
+    def decide_batch(
+        bounds_list: list[SspBounds], probability_threshold: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`decide` over a whole candidate set.
+
+        Returns ``(pruned_mask, accepted_mask)`` boolean arrays index-aligned
+        with ``bounds_list``; candidates with neither flag set need
+        verification.  The masks reproduce the sequential rule exactly:
+        Pruning 1 wins when both conditions fire.
+        """
+        if not bounds_list:
+            empty = np.zeros(0, dtype=bool)
+            return empty, empty
+        usim = np.array([b.usim for b in bounds_list])
+        lsim = np.array([b.lsim for b in bounds_list])
+        usim_covered = np.array([b.usim_covered for b in bounds_list], dtype=bool)
+        lsim_covered = np.array([b.lsim_covered for b in bounds_list], dtype=bool)
+        pruned = usim_covered & (usim < probability_threshold)
+        accepted = ~pruned & lsim_covered & (lsim >= probability_threshold)
+        return pruned, accepted
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _containment_relations(
+    def _containment_for(
         self,
+        feature_ids,
         relaxed_queries: list[LabeledGraph],
-        graph_bounds: dict[int, SipBounds],
-    ) -> dict[int, dict[str, set[int]]]:
-        """For each available feature: which rq's contain it / are contained in it.
-
-        ``sub[j]`` holds indices i with ``fj ⊆iso rqi`` (feature inside the
-        relaxed query, used for the upper bound); ``super[j]`` holds indices
-        with ``rqi ⊆iso fj`` (feature contains the relaxed query, used for
-        the lower bound).
-        """
-        relations: dict[int, dict[str, set[int]]] = {}
-        for feature_id in graph_bounds:
+    ) -> dict[int, FeatureContainment]:
+        """Relations for the given feature ids (iterated in their order)."""
+        relations: dict[int, FeatureContainment] = {}
+        for feature_id in feature_ids:
             feature = self.features.get(feature_id)
             if feature is None:
                 continue
@@ -133,24 +224,42 @@ class ProbabilisticPruner:
                     relaxed, feature.graph
                 ):
                     super_of.add(index)
-            relations[feature_id] = {"sub": sub_of, "super": super_of}
+            relations[feature_id] = FeatureContainment(
+                sub_of=frozenset(sub_of), super_of=frozenset(super_of)
+            )
         return relations
+
+    def _bounds_from_intervals(
+        self,
+        relaxed_queries: list[LabeledGraph],
+        intervals: dict[int, tuple[float, float]],
+        containment: dict[int, FeatureContainment],
+        rng: RandomLike = None,
+    ) -> SspBounds:
+        generator = self.rng if rng is None else ensure_rng(rng)
+        usim, usim_covered = self._upper_bound(relaxed_queries, intervals, containment)
+        lsim, lsim_covered = self._lower_bound(
+            relaxed_queries, intervals, containment, generator
+        )
+        return SspBounds(
+            usim=usim, lsim=lsim, usim_covered=usim_covered, lsim_covered=lsim_covered
+        )
 
     def _upper_bound(
         self,
         relaxed_queries: list[LabeledGraph],
-        graph_bounds: dict[int, SipBounds],
-        containment: dict[int, dict[str, set[int]]],
+        intervals: dict[int, tuple[float, float]],
+        containment: dict[int, FeatureContainment],
     ) -> tuple[float, bool]:
         universe = frozenset(range(len(relaxed_queries)))
         candidates = [
             WeightedSet(
                 set_id=feature_id,
-                members=frozenset(relations["sub"]),
-                weight=graph_bounds[feature_id].upper,
+                members=containment[feature_id].sub_of,
+                weight=intervals[feature_id][1],
             )
-            for feature_id, relations in containment.items()
-            if relations["sub"]
+            for feature_id in intervals
+            if containment[feature_id].sub_of
         ]
         if not candidates:
             return 1.0, False
@@ -171,24 +280,25 @@ class ProbabilisticPruner:
     def _lower_bound(
         self,
         relaxed_queries: list[LabeledGraph],
-        graph_bounds: dict[int, SipBounds],
-        containment: dict[int, dict[str, set[int]]],
+        intervals: dict[int, tuple[float, float]],
+        containment: dict[int, FeatureContainment],
+        rng,
     ) -> tuple[float, bool]:
         universe = frozenset(range(len(relaxed_queries)))
         candidates = [
             QPSet(
                 set_id=feature_id,
-                members=frozenset(relations["super"]),
-                lower_weight=graph_bounds[feature_id].lower,
-                upper_weight=graph_bounds[feature_id].upper,
+                members=containment[feature_id].super_of,
+                lower_weight=intervals[feature_id][0],
+                upper_weight=intervals[feature_id][1],
             )
-            for feature_id, relations in containment.items()
-            if relations["super"]
+            for feature_id in intervals
+            if containment[feature_id].super_of
         ]
         if not candidates:
             return 0.0, False
         if self.config.optimal_lsim:
-            result = solve_lsim_rounding(universe, candidates, rng=self.rng)
+            result = solve_lsim_rounding(universe, candidates, rng=rng)
             if not result.covered:
                 return 0.0, False
             return max(0.0, min(1.0, result.lower_bound)), True

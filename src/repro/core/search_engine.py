@@ -7,6 +7,10 @@ together:
 2. **probabilistic pruning** with PMI-derived SSP bounds (Theorems 3 & 4),
 3. **verification** of the remaining candidates (Algorithm 5 or exact).
 
+``build_index()`` constructs a reusable :class:`~repro.core.planner.QueryPlanner`
+once; ``query()`` is a thin plan execution and ``query_many()`` runs a whole
+workload against the shared planner.
+
 Typical usage::
 
     database = ProbabilisticGraphDatabase(graphs)
@@ -15,26 +19,33 @@ Typical usage::
                             distance_threshold=2)
     for answer in result.answers:
         print(answer.graph_id, answer.probability)
+
+    # batch execution over a workload
+    results = database.query_many(queries, 0.5, 2)
+
+    # persist the PMI so other processes skip the expensive build
+    database.pmi.save("pmi_dir")
+    other = ProbabilisticGraphDatabase(graphs)
+    other.build_index(pmi=ProbabilisticMatrixIndex.load("pmi_dir"))
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.pruning import ProbabilisticPruner, PruningConfig, PruningDecision
-from repro.core.relaxation import RelaxationConfig, relax_query
-from repro.core.results import QueryAnswer, QueryResult, QueryStatistics
-from repro.core.verification import VerificationConfig, Verifier
-from repro.exceptions import IndexError_, QueryError
+from repro.core.planner import QueryPlanner, validate_query
+from repro.core.pruning import PruningConfig
+from repro.core.relaxation import RelaxationConfig
+from repro.core.results import QueryResult
+from repro.core.verification import VerificationConfig
+from repro.exceptions import IndexError_
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.bounds import BoundConfig
 from repro.pmi.features import FeatureSelectionConfig
 from repro.pmi.index import ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
-from repro.structural.similarity_filter import StructuralFilter
 from repro.utils.rng import RandomLike, ensure_rng
-from repro.utils.timer import Timer
 
 
 @dataclass
@@ -57,6 +68,7 @@ class ProbabilisticGraphDatabase:
         self.graphs = list(graphs)
         self.pmi: ProbabilisticMatrixIndex | None = None
         self.structural_index: StructuralFeatureIndex | None = None
+        self.planner: QueryPlanner | None = None
 
     # ------------------------------------------------------------------
     # indexing
@@ -66,24 +78,44 @@ class ProbabilisticGraphDatabase:
         feature_config: FeatureSelectionConfig | None = None,
         bound_config: BoundConfig | None = None,
         rng: RandomLike = None,
+        pmi: ProbabilisticMatrixIndex | None = None,
     ) -> "ProbabilisticGraphDatabase":
-        """Mine features and build both the PMI and the structural index."""
+        """Mine features, build both indexes, and construct the query planner.
+
+        Pass a prebuilt (for example :meth:`ProbabilisticMatrixIndex.load`-ed)
+        ``pmi`` to skip the expensive SIP-bound computation; it must have been
+        built over the same graphs in the same order.
+        """
         generator = ensure_rng(rng)
-        self.pmi = ProbabilisticMatrixIndex(
-            feature_config=feature_config, bound_config=bound_config
-        )
-        self.pmi.build(self.graphs, rng=generator)
+        if pmi is not None:
+            if feature_config is not None or bound_config is not None:
+                raise IndexError_(
+                    "feature_config/bound_config conflict with a prebuilt pmi; "
+                    "the loaded index already carries its build configuration"
+                )
+            if pmi.database_size != len(self.graphs):
+                raise IndexError_(
+                    f"prebuilt PMI covers {pmi.database_size} graphs, "
+                    f"database has {len(self.graphs)}"
+                )
+            self.pmi = pmi
+        else:
+            self.pmi = ProbabilisticMatrixIndex(
+                feature_config=feature_config, bound_config=bound_config
+            )
+            self.pmi.build(self.graphs, rng=generator)
         self.structural_index = StructuralFeatureIndex(
             embedding_limit=self.pmi.feature_config.embedding_limit
         )
         self.structural_index.build(
             [graph.skeleton for graph in self.graphs], self.pmi.features
         )
+        self.planner = QueryPlanner(self.graphs, self.pmi, self.structural_index)
         return self
 
     @property
     def is_indexed(self) -> bool:
-        return self.pmi is not None and self.structural_index is not None
+        return self.planner is not None
 
     def __len__(self) -> int:
         return len(self.graphs)
@@ -101,156 +133,38 @@ class ProbabilisticGraphDatabase:
     ) -> QueryResult:
         """Run a threshold-based probabilistic subgraph similarity (T-PS) query."""
         self._validate_query(query_graph, probability_threshold, distance_threshold)
-        if not self.is_indexed:
+        if self.planner is None:
             raise IndexError_("call build_index() before querying")
-        cfg = config or SearchConfig()
-        generator = ensure_rng(rng)
-        result = QueryResult()
-        stats = result.statistics
-        stats.database_size = len(self.graphs)
-        total_timer = Timer()
-
-        with total_timer:
-            relaxed = relax_query(query_graph, distance_threshold, cfg.relaxation)
-            stats.relaxed_query_count = len(relaxed)
-
-            candidate_ids = self._structural_stage(query_graph, distance_threshold, cfg, stats)
-            candidate_ids, accepted = self._probabilistic_stage(
-                relaxed, candidate_ids, probability_threshold, cfg, stats, generator
-            )
-            for graph_id, lower_bound in accepted:
-                result.answers.append(
-                    QueryAnswer(
-                        graph_id=graph_id,
-                        graph_name=self.graphs[graph_id].name,
-                        probability=lower_bound,
-                        decided_by="lower_bound",
-                    )
-                )
-            self._verification_stage(
-                query_graph,
-                relaxed,
-                candidate_ids,
-                probability_threshold,
-                distance_threshold,
-                cfg,
-                stats,
-                result,
-                generator,
-            )
-        stats.total_seconds = total_timer.elapsed
-        stats.answers = len(result.answers)
-        result.answers.sort(key=lambda a: (-a.probability, a.graph_id))
-        return result
-
-    # ------------------------------------------------------------------
-    # pipeline stages
-    # ------------------------------------------------------------------
-    def _structural_stage(
-        self,
-        query_graph: LabeledGraph,
-        distance_threshold: int,
-        cfg: SearchConfig,
-        stats: QueryStatistics,
-    ) -> list[int]:
-        if not cfg.use_structural_pruning:
-            stats.structural_candidates = len(self.graphs)
-            return list(range(len(self.graphs)))
-        assert self.structural_index is not None
-        structural_filter = StructuralFilter(
-            self.structural_index, [graph.skeleton for graph in self.graphs]
+        return self.planner.execute(
+            query_graph, probability_threshold, distance_threshold, config, rng=rng
         )
-        outcome = structural_filter.filter(query_graph, distance_threshold)
-        stats.structural_candidates = outcome.candidate_count
-        stats.structural_seconds = outcome.seconds
-        return outcome.candidate_ids
 
-    def _probabilistic_stage(
+    def query_many(
         self,
-        relaxed: list[LabeledGraph],
-        candidate_ids: list[int],
-        probability_threshold: float,
-        cfg: SearchConfig,
-        stats: QueryStatistics,
-        rng,
-    ) -> tuple[list[int], list[tuple[int, float]]]:
-        if not cfg.use_probabilistic_pruning:
-            stats.probabilistic_candidates = len(candidate_ids)
-            return candidate_ids, []
-        assert self.pmi is not None
-        pruner = ProbabilisticPruner(self.pmi.features, config=cfg.pruning, rng=rng)
-        timer = Timer()
-        remaining: list[int] = []
-        accepted: list[tuple[int, float]] = []
-        with timer:
-            for graph_id in candidate_ids:
-                graph_bounds = self.pmi.bounds_for_graph(graph_id)
-                bounds = pruner.compute_bounds(relaxed, graph_bounds)
-                decision = pruner.decide(bounds, probability_threshold)
-                if decision is PruningDecision.PRUNED:
-                    stats.pruned_by_upper_bound += 1
-                elif decision is PruningDecision.ACCEPTED:
-                    stats.accepted_by_lower_bound += 1
-                    accepted.append((graph_id, bounds.lsim))
-                else:
-                    remaining.append(graph_id)
-        stats.probabilistic_seconds = timer.elapsed
-        stats.probabilistic_candidates = len(remaining) + len(accepted)
-        return remaining, accepted
-
-    def _verification_stage(
-        self,
-        query_graph: LabeledGraph,
-        relaxed: list[LabeledGraph],
-        candidate_ids: list[int],
+        query_graphs: list[LabeledGraph],
         probability_threshold: float,
         distance_threshold: int,
-        cfg: SearchConfig,
-        stats: QueryStatistics,
-        result: QueryResult,
-        rng,
-    ) -> None:
-        verifier = Verifier(config=cfg.verification, relaxation=cfg.relaxation, rng=rng)
-        timer = Timer()
-        with timer:
-            for graph_id in candidate_ids:
-                stats.verified += 1
-                is_answer, probability = verifier.matches(
-                    query_graph,
-                    self.graphs[graph_id],
-                    probability_threshold,
-                    distance_threshold,
-                    relaxed_queries=relaxed,
-                )
-                if is_answer:
-                    result.answers.append(
-                        QueryAnswer(
-                            graph_id=graph_id,
-                            graph_name=self.graphs[graph_id].name,
-                            probability=probability,
-                            decided_by="verification",
-                        )
-                    )
-        stats.verification_seconds = timer.elapsed
+        config: SearchConfig | None = None,
+        rng: RandomLike = None,
+    ) -> list[QueryResult]:
+        """Run a T-PS workload, amortizing planner setup across all queries.
+
+        Returns one :class:`QueryResult` per query, in input order, with
+        answers identical to issuing the same ``query()`` calls sequentially
+        (an int or ``None`` ``rng`` is re-normalized per query; see
+        :meth:`QueryPlanner.execute_many`).
+        """
+        if self.planner is None:
+            raise IndexError_("call build_index() before querying")
+        for query_graph in query_graphs:
+            self._validate_query(query_graph, probability_threshold, distance_threshold)
+        return self.planner.execute_many(
+            query_graphs, probability_threshold, distance_threshold, config, rng=rng
+        )
 
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------
-    @staticmethod
-    def _validate_query(
-        query_graph: LabeledGraph, probability_threshold: float, distance_threshold: int
-    ) -> None:
-        if query_graph.num_edges == 0:
-            raise QueryError("query graph must contain at least one edge")
-        if not query_graph.is_connected():
-            raise QueryError("query graph must be connected")
-        if not 0.0 < probability_threshold <= 1.0:
-            raise QueryError(
-                f"probability threshold must be in (0, 1], got {probability_threshold!r}"
-            )
-        if distance_threshold < 0:
-            raise QueryError("distance threshold must be >= 0")
-        if distance_threshold >= query_graph.num_edges:
-            raise QueryError(
-                "distance threshold must be smaller than the number of query edges"
-            )
+    # the planner validates again inside plan(); this up-front pass exists so
+    # query_many rejects a malformed batch before any query executes
+    _validate_query = staticmethod(validate_query)

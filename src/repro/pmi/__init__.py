@@ -10,7 +10,7 @@ from repro.pmi.cuts import (
 )
 from repro.pmi.bounds import SipBounds, compute_sip_bounds, BoundConfig
 from repro.pmi.features import Feature, FeatureMiner, FeatureSelectionConfig
-from repro.pmi.index import ProbabilisticMatrixIndex, PMIEntry
+from repro.pmi.index import ProbabilisticMatrixIndex, PMIEntry, PMIRow
 
 __all__ = [
     "maximum_weight_clique",
@@ -27,4 +27,5 @@ __all__ = [
     "FeatureSelectionConfig",
     "ProbabilisticMatrixIndex",
     "PMIEntry",
+    "PMIRow",
 ]

@@ -16,6 +16,21 @@ clique problem (:mod:`repro.pmi.embedding_graph`, :mod:`repro.pmi.cuts`).
 The conditional probabilities are estimated with the paper's Algorithm 3
 (shared-batch Monte Carlo) or computed exactly by possible-world enumeration
 for small graphs (used in tests and the exact baseline).
+
+The product forms above are exact only under the conditional-independence
+argument the paper makes for its correlation model; under arbitrary
+neighbor-edge factors they can overshoot the true SIP.  The conditionals are
+therefore used as *selection weights* (the clique objective), while the
+reported bounds are the measured probabilities of the witness events over the
+same world collection:
+
+* ``LowerB(f) = Pr(⋃_{i∈IN} Bfi)`` — a union over a subset of embeddings,
+  always a valid lower bound;
+* ``UpperB(f) = Pr(⋂_{i∈IN'} ¬Bci)`` — a present feature defeats every
+  embedding cut, so this is always a valid upper bound.
+
+This keeps the bounds sound for any correlation structure without giving up
+the paper's optimized disjoint-set selection.
 """
 
 from __future__ import annotations
@@ -32,12 +47,8 @@ from repro.pmi.cuts import (
     best_disjoint_cuts,
     cuts_are_disjoint,
     enumerate_embedding_cuts,
-    upper_bound_from_probabilities,
 )
-from repro.pmi.embedding_graph import (
-    best_disjoint_embeddings,
-    lower_bound_from_probabilities,
-)
+from repro.pmi.embedding_graph import best_disjoint_embeddings
 from repro.probability.sampling import WorldSampler, monte_carlo_sample_size
 from repro.utils.rng import RandomLike, ensure_rng
 
@@ -117,30 +128,22 @@ def compute_sip_bounds(
         embeddings, max_cuts=cfg.max_cuts, max_cut_size=cfg.max_cut_size
     )
 
-    if cfg.method == "exact":
-        embedding_probs, cut_probs = _exact_conditionals(graph, embeddings, cuts)
-    elif cfg.method == "sampling":
-        embedding_probs, cut_probs = _sampled_conditionals(
-            graph, embeddings, cuts, cfg, generator
-        )
-    else:
-        raise ValueError(f"unknown bound method {cfg.method!r}")
+    weighted_worlds = _weighted_worlds(graph, cfg, generator)
+    embedding_probs, cut_probs = _conditional_probabilities(
+        weighted_worlds, embeddings, cuts
+    )
 
     if cfg.optimize:
-        chosen_embeddings, lower = best_disjoint_embeddings(embeddings, embedding_probs)
-        chosen_cuts, upper = best_disjoint_cuts(cuts, cut_probs)
+        chosen_embeddings, _ = best_disjoint_embeddings(embeddings, embedding_probs)
+        chosen_cuts, _ = best_disjoint_cuts(cuts, cut_probs)
     else:
-        # plain SIPBound: first embedding, then greedily add disjoint ones
+        # plain SIPBound: a single arbitrary embedding / cut
         chosen_embeddings = _first_fit_disjoint_embeddings(embeddings)
-        lower = lower_bound_from_probabilities(
-            [embedding_probs[i] for i in chosen_embeddings]
-        )
         chosen_cuts = _first_fit_disjoint_cuts(cuts)
-        upper = (
-            upper_bound_from_probabilities([cut_probs[i] for i in chosen_cuts])
-            if chosen_cuts
-            else 1.0
-        )
+
+    lower, upper = _witness_event_probabilities(
+        weighted_worlds, embeddings, chosen_embeddings, cuts, chosen_cuts
+    )
 
     lower = min(1.0, max(0.0, lower))
     upper = min(1.0, max(lower, upper))  # keep the interval consistent
@@ -155,77 +158,52 @@ def compute_sip_bounds(
 
 
 # ----------------------------------------------------------------------
-# conditional probability estimation
+# world collection and conditional probability estimation
 # ----------------------------------------------------------------------
-def _sampled_conditionals(
-    graph: ProbabilisticGraph,
+MAX_EXACT_BOUND_EDGES = 20
+
+
+def _weighted_worlds(
+    graph: ProbabilisticGraph, cfg: BoundConfig, rng
+) -> list[tuple[frozenset, float]]:
+    """The shared world collection: ``(present edges, weight)`` pairs.
+
+    ``"exact"`` enumerates every possible world with its probability;
+    ``"sampling"`` draws Algorithm 3's shared Monte-Carlo batch with unit
+    weights.  Both the conditional estimates and the final witness-event
+    probabilities are measured over this single collection.
+    """
+    if cfg.method == "exact":
+        if graph.num_edges > MAX_EXACT_BOUND_EDGES:
+            raise VerificationError(
+                f"exact bound computation limited to {MAX_EXACT_BOUND_EDGES} "
+                f"uncertain edges; graph has {graph.num_edges}"
+            )
+        return [(w.present_edges(), w.probability) for w in enumerate_possible_worlds(graph)]
+    if cfg.method == "sampling":
+        sampler = WorldSampler(graph, rng=rng)
+        num_samples = cfg.resolved_sample_count()
+        return [(sampler.sample_present_edges(), 1.0) for _ in range(num_samples)]
+    raise ValueError(f"unknown bound method {cfg.method!r}")
+
+
+def _conditional_probabilities(
+    weighted_worlds: list[tuple[frozenset, float]],
     embeddings: list[Embedding],
     cuts: list[Cut],
-    cfg: BoundConfig,
-    rng,
 ) -> tuple[list[float], list[float]]:
-    """Algorithm 3 with one shared world batch for every embedding and cut."""
-    sampler = WorldSampler(graph, rng=rng)
-    num_samples = cfg.resolved_sample_count()
-    worlds = [sampler.sample_present_edges() for _ in range(num_samples)]
-
-    overlapping = _overlapping_embeddings(embeddings)
-    embedding_probs: list[float] = []
-    for index, embedding in enumerate(embeddings):
-        others = overlapping[index]
-        joint = 0
-        conditioning = 0
-        for present in worlds:
-            none_overlapping = all(not (embeddings[j].edges <= present) for j in others)
-            if none_overlapping:
-                conditioning += 1
-                if embedding.edges <= present:
-                    joint += 1
-        embedding_probs.append(joint / conditioning if conditioning else 0.0)
-
-    overlapping_cuts = _overlapping_cuts(cuts)
-    cut_probs: list[float] = []
-    for index, cut in enumerate(cuts):
-        others = overlapping_cuts[index]
-        joint = 0
-        conditioning = 0
-        for present in worlds:
-            # a cut "materializes" when every one of its edges is absent
-            none_overlapping = all(cuts[j] & present for j in others)
-            if none_overlapping:
-                conditioning += 1
-                if not (cut & present):
-                    joint += 1
-        cut_probs.append(joint / conditioning if conditioning else 0.0)
-    return embedding_probs, cut_probs
-
-
-def _exact_conditionals(
-    graph: ProbabilisticGraph,
-    embeddings: list[Embedding],
-    cuts: list[Cut],
-    max_edges: int = 20,
-) -> tuple[list[float], list[float]]:
-    """Exact conditional probabilities by possible-world enumeration."""
-    if graph.num_edges > max_edges:
-        raise VerificationError(
-            f"exact bound computation limited to {max_edges} uncertain edges; "
-            f"graph has {graph.num_edges}"
-        )
-    worlds = enumerate_possible_worlds(graph)
-    weighted = [(w.present_edges(), w.probability) for w in worlds]
-
+    """``Pr(Bfi | COR)`` and ``Pr(Bci | COM)`` over the world collection."""
     overlapping = _overlapping_embeddings(embeddings)
     embedding_probs: list[float] = []
     for index, embedding in enumerate(embeddings):
         others = overlapping[index]
         joint = 0.0
         conditioning = 0.0
-        for present, probability in weighted:
+        for present, weight in weighted_worlds:
             if all(not (embeddings[j].edges <= present) for j in others):
-                conditioning += probability
+                conditioning += weight
                 if embedding.edges <= present:
-                    joint += probability
+                    joint += weight
         embedding_probs.append(joint / conditioning if conditioning > 0 else 0.0)
 
     overlapping_cuts = _overlapping_cuts(cuts)
@@ -234,13 +212,43 @@ def _exact_conditionals(
         others = overlapping_cuts[index]
         joint = 0.0
         conditioning = 0.0
-        for present, probability in weighted:
+        for present, weight in weighted_worlds:
+            # a cut "materializes" when every one of its edges is absent
             if all(cuts[j] & present for j in others):
-                conditioning += probability
+                conditioning += weight
                 if not (cut & present):
-                    joint += probability
+                    joint += weight
         cut_probs.append(joint / conditioning if conditioning > 0 else 0.0)
     return embedding_probs, cut_probs
+
+
+def _witness_event_probabilities(
+    weighted_worlds: list[tuple[frozenset, float]],
+    embeddings: list[Embedding],
+    chosen_embeddings: list[int],
+    cuts: list[Cut],
+    chosen_cuts: list[int],
+) -> tuple[float, float]:
+    """Measured probabilities of the two witness events over the worlds.
+
+    The lower bound is the probability that at least one chosen embedding is
+    fully present; the upper bound is the probability that every chosen cut
+    keeps at least one edge present (no cut materializes).  With no cuts the
+    upper bound degenerates to 1.0.
+    """
+    total = sum(weight for _, weight in weighted_worlds)
+    if total <= 0.0:
+        return 0.0, 1.0
+    lower_mass = 0.0
+    upper_mass = 0.0
+    for present, weight in weighted_worlds:
+        if any(embeddings[i].edges <= present for i in chosen_embeddings):
+            lower_mass += weight
+        if chosen_cuts and all(cuts[i] & present for i in chosen_cuts):
+            upper_mass += weight
+    lower = lower_mass / total
+    upper = upper_mass / total if chosen_cuts else 1.0
+    return lower, upper
 
 
 def exact_sip(graph: ProbabilisticGraph, feature: LabeledGraph, max_edges: int = 20) -> float:

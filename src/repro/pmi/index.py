@@ -3,23 +3,39 @@
 Rows are indexed features, columns are probabilistic graphs; each cell holds
 ``(LowerB(f), UpperB(f))`` — the SIP bounds of the feature against that
 graph — or the empty entry when the feature does not occur in the graph's
-skeleton at all.  The index also remembers which relaxed-query-to-feature
-relationships it can answer quickly (sub/super-feature tests are delegated to
-VF2 at query time; the index caches per-feature metadata to keep those tests
-cheap).
+skeleton at all.
+
+The matrix is stored *columnar*: dense ``float64`` arrays
+``lower[graph, feature]`` / ``upper[graph, feature]`` plus a boolean presence
+mask, with per-cell embedding/cut counts in parallel ``int32`` arrays and the
+(rare, variable-length) chosen embedding/cut index tuples in a sparse side
+table.  The dict-of-dicts view of Section 3.1 is still available through
+:meth:`bounds_for_graph`, but the query hot path reads zero-copy row views
+(:class:`PMIRow`) so probabilistic pruning never materializes per-graph
+dictionaries.  Feature lookup by id is a dict hit, and the whole index can be
+persisted with :meth:`save` (``.npz`` arrays + JSON feature metadata) and
+rebuilt with :meth:`load` so one expensive build can serve many processes.
 """
 
 from __future__ import annotations
 
-import sys
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
 
 from repro.exceptions import IndexError_
+from repro.graphs.io import labeled_graph_from_dict, labeled_graph_to_dict
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.bounds import BoundConfig, SipBounds, compute_sip_bounds
 from repro.pmi.features import Feature, FeatureMiner, FeatureSelectionConfig
 from repro.utils.rng import RandomLike, ensure_rng
 from repro.utils.timer import Timer
+
+PERSIST_FORMAT_VERSION = 1
+ARRAYS_FILENAME = "pmi_arrays.npz"
+META_FILENAME = "pmi_meta.json"
 
 
 @dataclass(frozen=True)
@@ -31,6 +47,25 @@ class PMIEntry:
     bounds: SipBounds
 
 
+@dataclass(frozen=True)
+class PMIRow:
+    """Zero-copy view of one graph's PMI row.
+
+    ``lower``/``upper``/``present`` are views into the index's column-major
+    storage (never copies); ``feature_ids`` is the shared feature-id vector,
+    index-aligned with the three value arrays.
+    """
+
+    graph_id: int
+    feature_ids: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    present: np.ndarray
+
+    def interval(self, column: int) -> tuple[float, float]:
+        return (float(self.lower[column]), float(self.upper[column]))
+
+
 class ProbabilisticMatrixIndex:
     """Feature-by-graph matrix of SIP bounds.
 
@@ -39,6 +74,7 @@ class ProbabilisticMatrixIndex:
         index = ProbabilisticMatrixIndex()
         index.build(database)                      # mines features, fills cells
         entries = index.bounds_for_graph(graph_id) # {feature_id: SipBounds}
+        row = index.row(graph_id)                  # zero-copy columnar view
     """
 
     def __init__(
@@ -49,7 +85,16 @@ class ProbabilisticMatrixIndex:
         self.feature_config = feature_config or FeatureSelectionConfig()
         self.bound_config = bound_config or BoundConfig()
         self.features: list[Feature] = []
-        self._matrix: dict[int, dict[int, SipBounds]] = {}
+        self._feature_ids: np.ndarray = np.empty(0, dtype=np.int64)
+        self._feature_pos: dict[int, int] = {}
+        self._features_by_id: dict[int, Feature] = {}
+        self._lower: np.ndarray = np.empty((0, 0))
+        self._upper: np.ndarray = np.empty((0, 0))
+        self._present: np.ndarray = np.empty((0, 0), dtype=bool)
+        self._num_embeddings: np.ndarray = np.empty((0, 0), dtype=np.int32)
+        self._num_cuts: np.ndarray = np.empty((0, 0), dtype=np.int32)
+        # (graph_id, feature_id) -> (chosen embedding indices, chosen cut indices)
+        self._chosen: dict[tuple[int, int], tuple[tuple[int, ...], tuple[int, ...]]] = {}
         self._built = False
         self.build_seconds = 0.0
         self.database_size = 0
@@ -72,20 +117,52 @@ class ProbabilisticMatrixIndex:
                 self.features = miner.mine(database)
             else:
                 self.features = list(features)
-            self._matrix = {}
+            self._index_features()
+            num_graphs = len(database)
+            num_features = len(self.features)
+            self._allocate(num_graphs, num_features)
             for graph_id, graph in enumerate(database):
-                row: dict[int, SipBounds] = {}
-                for feature in self.features:
+                for column, feature in enumerate(self.features):
                     bounds = compute_sip_bounds(
                         feature.graph, graph, config=self.bound_config, rng=generator
                     )
                     if not bounds.is_empty():
-                        row[feature.feature_id] = bounds
-                self._matrix[graph_id] = row
+                        self._store_cell(graph_id, column, feature.feature_id, bounds)
         self.build_seconds = timer.elapsed
         self.database_size = len(database)
         self._built = True
         return self
+
+    def _index_features(self) -> None:
+        self._feature_ids = np.array(
+            [feature.feature_id for feature in self.features], dtype=np.int64
+        )
+        self._feature_pos = {
+            feature.feature_id: column for column, feature in enumerate(self.features)
+        }
+        self._features_by_id = {feature.feature_id: feature for feature in self.features}
+
+    def _allocate(self, num_graphs: int, num_features: int) -> None:
+        self._lower = np.zeros((num_graphs, num_features))
+        self._upper = np.zeros((num_graphs, num_features))
+        self._present = np.zeros((num_graphs, num_features), dtype=bool)
+        self._num_embeddings = np.zeros((num_graphs, num_features), dtype=np.int32)
+        self._num_cuts = np.zeros((num_graphs, num_features), dtype=np.int32)
+        self._chosen = {}
+
+    def _store_cell(
+        self, graph_id: int, column: int, feature_id: int, bounds: SipBounds
+    ) -> None:
+        self._lower[graph_id, column] = bounds.lower
+        self._upper[graph_id, column] = bounds.upper
+        self._present[graph_id, column] = True
+        self._num_embeddings[graph_id, column] = bounds.num_embeddings
+        self._num_cuts[graph_id, column] = bounds.num_cuts
+        if bounds.chosen_embeddings or bounds.chosen_cuts:
+            self._chosen[(graph_id, feature_id)] = (
+                tuple(bounds.chosen_embeddings),
+                tuple(bounds.chosen_cuts),
+            )
 
     # ------------------------------------------------------------------
     # lookups
@@ -98,53 +175,204 @@ class ProbabilisticMatrixIndex:
     def num_features(self) -> int:
         return len(self.features)
 
+    @property
+    def num_graphs(self) -> int:
+        return self._present.shape[0]
+
     def feature_by_id(self, feature_id: int) -> Feature:
         self._require_built()
-        for feature in self.features:
-            if feature.feature_id == feature_id:
-                return feature
-        raise IndexError_(f"unknown feature id {feature_id!r}")
+        feature = self._features_by_id.get(feature_id)
+        if feature is None:
+            raise IndexError_(f"unknown feature id {feature_id!r}")
+        return feature
+
+    def row(self, graph_id: int) -> PMIRow:
+        """Zero-copy columnar view of one graph's row (the pruning hot path)."""
+        self._require_built()
+        if not 0 <= graph_id < self._present.shape[0]:
+            raise IndexError_(f"graph id {graph_id!r} is not indexed")
+        return PMIRow(
+            graph_id=graph_id,
+            feature_ids=self._feature_ids,
+            lower=self._lower[graph_id],
+            upper=self._upper[graph_id],
+            present=self._present[graph_id],
+        )
+
+    def _cell(self, graph_id: int, column: int, feature_id: int) -> SipBounds:
+        chosen_embeddings, chosen_cuts = self._chosen.get((graph_id, feature_id), ((), ()))
+        return SipBounds(
+            lower=float(self._lower[graph_id, column]),
+            upper=float(self._upper[graph_id, column]),
+            num_embeddings=int(self._num_embeddings[graph_id, column]),
+            num_cuts=int(self._num_cuts[graph_id, column]),
+            chosen_embeddings=chosen_embeddings,
+            chosen_cuts=chosen_cuts,
+        )
 
     def bounds_for_graph(self, graph_id: int) -> dict[int, SipBounds]:
-        """The ``Dg`` of Section 3.1: {feature_id: bounds} for one graph."""
-        self._require_built()
-        if graph_id not in self._matrix:
-            raise IndexError_(f"graph id {graph_id!r} is not indexed")
-        return dict(self._matrix[graph_id])
+        """The ``Dg`` of Section 3.1: {feature_id: bounds} for one graph.
+
+        Reconstructs :class:`SipBounds` cells from the columnar storage; use
+        :meth:`row` on hot paths instead.
+        """
+        row = self.row(graph_id)
+        return {
+            int(self._feature_ids[column]): self._cell(
+                graph_id, column, int(self._feature_ids[column])
+            )
+            for column in np.flatnonzero(row.present)
+        }
 
     def bounds(self, graph_id: int, feature_id: int) -> SipBounds | None:
         """Bounds for one cell, or None when the feature is absent from the graph."""
         self._require_built()
-        return self._matrix.get(graph_id, {}).get(feature_id)
+        column = self._feature_pos.get(feature_id)
+        if column is None or not 0 <= graph_id < self._present.shape[0]:
+            return None
+        if not self._present[graph_id, column]:
+            return None
+        return self._cell(graph_id, column, feature_id)
 
     def entries(self) -> list[PMIEntry]:
         """Every non-empty cell as a flat list (useful for inspection/tests)."""
         self._require_built()
         result = []
-        for graph_id, row in self._matrix.items():
-            for feature_id, bounds in row.items():
-                result.append(PMIEntry(feature_id=feature_id, graph_id=graph_id, bounds=bounds))
+        for graph_id, column in zip(*np.nonzero(self._present)):
+            feature_id = int(self._feature_ids[column])
+            result.append(
+                PMIEntry(
+                    feature_id=feature_id,
+                    graph_id=int(graph_id),
+                    bounds=self._cell(int(graph_id), int(column), feature_id),
+                )
+            )
         return result
 
     def graphs_containing_feature(self, feature_id: int) -> list[int]:
         """Graph ids whose skeleton contains the feature (non-empty cell)."""
         self._require_built()
-        return sorted(
-            graph_id for graph_id, row in self._matrix.items() if feature_id in row
+        column = self._feature_pos.get(feature_id)
+        if column is None:
+            return []
+        return [int(graph_id) for graph_id in np.flatnonzero(self._present[:, column])]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the built index to ``path`` (a directory).
+
+        Numeric columns go to ``pmi_arrays.npz``; features, configs and the
+        sparse chosen-set table go to ``pmi_meta.json``.
+        """
+        self._require_built()
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            directory / ARRAYS_FILENAME,
+            lower=self._lower,
+            upper=self._upper,
+            present=self._present,
+            num_embeddings=self._num_embeddings,
+            num_cuts=self._num_cuts,
+            feature_ids=self._feature_ids,
         )
+        meta = {
+            "type": "probabilistic_matrix_index",
+            "version": PERSIST_FORMAT_VERSION,
+            "database_size": self.database_size,
+            "build_seconds": self.build_seconds,
+            "feature_config": asdict(self.feature_config),
+            "bound_config": asdict(self.bound_config),
+            "features": [
+                {
+                    "feature_id": feature.feature_id,
+                    "graph": labeled_graph_to_dict(feature.graph),
+                    "support": sorted(feature.support),
+                    "canonical": feature.canonical,
+                }
+                for feature in self.features
+            ],
+            "chosen": {
+                f"{graph_id}:{feature_id}": [list(embeddings), list(cuts)]
+                for (graph_id, feature_id), (embeddings, cuts) in self._chosen.items()
+            },
+        }
+        (directory / META_FILENAME).write_text(json.dumps(meta))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProbabilisticMatrixIndex":
+        """Rebuild an index persisted by :meth:`save`."""
+        directory = Path(path)
+        meta_path = directory / META_FILENAME
+        arrays_path = directory / ARRAYS_FILENAME
+        if not meta_path.exists() or not arrays_path.exists():
+            raise IndexError_(f"no persisted PMI at {str(directory)!r}")
+        meta = json.loads(meta_path.read_text())
+        if meta.get("type") != "probabilistic_matrix_index":
+            raise IndexError_(f"not a PMI payload: {meta.get('type')!r}")
+        if meta.get("version") != PERSIST_FORMAT_VERSION:
+            raise IndexError_(
+                f"unsupported PMI format version {meta.get('version')!r}; "
+                f"this build reads version {PERSIST_FORMAT_VERSION}"
+            )
+        index = cls(
+            feature_config=FeatureSelectionConfig(**meta["feature_config"]),
+            bound_config=BoundConfig(**meta["bound_config"]),
+        )
+        index.features = [
+            Feature(
+                feature_id=entry["feature_id"],
+                graph=labeled_graph_from_dict(entry["graph"]),
+                support=frozenset(entry["support"]),
+                canonical=entry["canonical"],
+            )
+            for entry in meta["features"]
+        ]
+        index._index_features()
+        with np.load(arrays_path) as arrays:
+            saved_feature_ids = arrays["feature_ids"]
+            expected_shape = (meta["database_size"], len(index.features))
+            if arrays["lower"].shape != expected_shape or not np.array_equal(
+                saved_feature_ids, index._feature_ids
+            ):
+                raise IndexError_(
+                    f"inconsistent PMI payload at {str(directory)!r}: array shapes "
+                    "or feature ids disagree with the JSON metadata"
+                )
+            index._lower = arrays["lower"]
+            index._upper = arrays["upper"]
+            index._present = arrays["present"]
+            index._num_embeddings = arrays["num_embeddings"]
+            index._num_cuts = arrays["num_cuts"]
+        index._chosen = {}
+        for key, (embeddings, cuts) in meta["chosen"].items():
+            graph_id, feature_id = key.split(":")
+            index._chosen[(int(graph_id), int(feature_id))] = (
+                tuple(embeddings),
+                tuple(cuts),
+            )
+        index.database_size = meta["database_size"]
+        index.build_seconds = meta["build_seconds"]
+        index._built = True
+        return index
 
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def size_in_bytes(self) -> int:
-        """Rough in-memory footprint of the matrix (Figure 12(d) metric)."""
+        """In-memory footprint of the columnar matrix (Figure 12(d) metric)."""
         self._require_built()
-        total = sys.getsizeof(self._matrix)
-        for row in self._matrix.values():
-            total += sys.getsizeof(row)
-            # each cell stores two floats plus bookkeeping; a fixed per-cell
-            # estimate keeps the metric stable across Python versions
-            total += 64 * len(row)
+        total = (
+            self._lower.nbytes
+            + self._upper.nbytes
+            + self._present.nbytes
+            + self._num_embeddings.nbytes
+            + self._num_cuts.nbytes
+            + self._feature_ids.nbytes
+        )
+        total += 64 * len(self._chosen)
         for feature in self.features:
             total += 48 * (feature.num_vertices + feature.num_edges)
         return total
@@ -152,11 +380,10 @@ class ProbabilisticMatrixIndex:
     def summary(self) -> dict:
         """Human-readable build summary used by examples and benchmarks."""
         self._require_built()
-        cells = sum(len(row) for row in self._matrix.values())
         return {
             "database_size": self.database_size,
             "num_features": self.num_features,
-            "non_empty_cells": cells,
+            "non_empty_cells": int(self._present.sum()),
             "build_seconds": round(self.build_seconds, 4),
             "index_bytes": self.size_in_bytes(),
         }

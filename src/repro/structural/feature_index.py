@@ -16,11 +16,17 @@ reproduce its core counting filter:
   — or, in the composed form, whose accumulated deficit exceeds the
   allowance — cannot contain ``q`` within distance ``δ`` and is pruned
   (Theorem 1 keeps this sound for probabilistic graphs).
+
+Counts are stored as a dense ``int32`` matrix ``counts[graph, feature]`` so
+the per-query deficit test runs as one vectorized pass over the whole
+database (:meth:`deficit_prunable_mask`) instead of a per-graph dict walk.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+
+import numpy as np
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.isomorphism.embeddings import find_embeddings
@@ -28,12 +34,13 @@ from repro.pmi.features import Feature
 
 
 class StructuralFeatureIndex:
-    """Per-graph feature occurrence counts for the structural filter."""
+    """Columnar per-graph feature occurrence counts for the structural filter."""
 
     def __init__(self, embedding_limit: int = 64) -> None:
         self.embedding_limit = embedding_limit
         self.features: list[Feature] = []
-        self._counts: dict[int, dict[int, int]] = {}
+        self._counts: np.ndarray = np.empty((0, 0), dtype=np.int32)
+        self._feature_pos: dict[int, int] = {}
         self._built = False
 
     def build(
@@ -41,16 +48,17 @@ class StructuralFeatureIndex:
     ) -> "StructuralFeatureIndex":
         """Count every feature's embeddings in every skeleton."""
         self.features = list(features)
-        self._counts = {}
+        self._feature_pos = {
+            feature.feature_id: column for column, feature in enumerate(self.features)
+        }
+        self._counts = np.zeros((len(skeletons), len(self.features)), dtype=np.int32)
         for graph_id, skeleton in enumerate(skeletons):
-            row: dict[int, int] = {}
-            for feature in self.features:
+            for column, feature in enumerate(self.features):
                 embeddings = find_embeddings(
                     feature.graph, skeleton, limit=self.embedding_limit
                 )
                 if embeddings:
-                    row[feature.feature_id] = len(embeddings)
-            self._counts[graph_id] = row
+                    self._counts[graph_id, column] = len(embeddings)
         self._built = True
         return self
 
@@ -58,11 +66,24 @@ class StructuralFeatureIndex:
     def is_built(self) -> bool:
         return self._built
 
+    @property
+    def num_graphs(self) -> int:
+        return self._counts.shape[0]
+
     def count(self, graph_id: int, feature_id: int) -> int:
-        return self._counts.get(graph_id, {}).get(feature_id, 0)
+        column = self._feature_pos.get(feature_id)
+        if column is None or not 0 <= graph_id < self._counts.shape[0]:
+            return 0
+        return int(self._counts[graph_id, column])
 
     def counts_for_graph(self, graph_id: int) -> dict[int, int]:
-        return dict(self._counts.get(graph_id, {}))
+        if not 0 <= graph_id < self._counts.shape[0]:
+            return {}
+        row = self._counts[graph_id]
+        return {
+            self.features[column].feature_id: int(row[column])
+            for column in np.flatnonzero(row)
+        }
 
     def query_profile(self, query: LabeledGraph) -> dict[int, dict]:
         """Feature occurrence statistics of the query.
@@ -86,5 +107,25 @@ class StructuralFeatureIndex:
             }
         return profile
 
+    def deficit_prunable_mask(
+        self, query_profile: dict[int, dict], distance_threshold: int
+    ) -> np.ndarray:
+        """Vectorized Grafil deficit test over every graph at once.
+
+        Returns a boolean mask over graph ids: True where some profiled
+        feature's occurrence deficit exceeds what ``δ`` edge relaxations can
+        explain — exactly the per-graph test of
+        ``cnt_q(f) - cnt_g(f) > δ · maxhit_q(f)`` applied column-wise.
+        """
+        mask = np.zeros(self._counts.shape[0], dtype=bool)
+        for feature_id, stats in query_profile.items():
+            column = self._feature_pos.get(feature_id)
+            if column is None:
+                continue
+            allowance = distance_threshold * max(1, stats["max_hits_per_edge"])
+            deficit = stats["count"] - self._counts[:, column]
+            mask |= deficit > allowance
+        return mask
+
     def graph_ids(self) -> list[int]:
-        return sorted(self._counts)
+        return list(range(self._counts.shape[0]))

@@ -55,8 +55,13 @@ class StructuralFilter:
         timer = Timer()
         with timer:
             profile = self.index.query_profile(query)
+            # filter 2 first: the Grafil feature-count deficit is one
+            # vectorized pass over the whole database
+            feature_pruned = self.index.deficit_prunable_mask(profile, distance_threshold)
             for graph_id, skeleton in enumerate(self.skeletons):
-                if self._prunable(query, skeleton, graph_id, profile, distance_threshold):
+                if self._prunable(
+                    query, skeleton, bool(feature_pruned[graph_id]), distance_threshold
+                ):
                     result.pruned_ids.append(graph_id)
                 else:
                     result.candidate_ids.append(graph_id)
@@ -70,31 +75,16 @@ class StructuralFilter:
         self,
         query: LabeledGraph,
         skeleton: LabeledGraph,
-        graph_id: int,
-        query_profile: dict[int, dict],
+        feature_count_prunable: bool,
         distance_threshold: int,
     ) -> bool:
+        # filter 2 (precomputed, vectorized): feature-count deficit (Grafil)
+        if feature_count_prunable:
+            return True
         # filter 1: edge-signature deficit
         if signature_distance_lower_bound(query, skeleton) > distance_threshold:
-            return True
-        # filter 2: feature-count deficit (Grafil-style)
-        if self._feature_count_prunable(graph_id, query_profile, distance_threshold):
             return True
         # filter 3 (optional): exact similarity check
         if self.exact_check and not is_subgraph_similar(query, skeleton, distance_threshold):
             return True
-        return False
-
-    def _feature_count_prunable(
-        self, graph_id: int, query_profile: dict[int, dict], distance_threshold: int
-    ) -> bool:
-        """Accumulated feature-occurrence deficit beyond what δ edges explain."""
-        for feature_id, stats in query_profile.items():
-            available = self.index.count(graph_id, feature_id)
-            deficit = stats["count"] - available
-            if deficit <= 0:
-                continue
-            allowance = distance_threshold * max(1, stats["max_hits_per_edge"])
-            if deficit > allowance:
-                return True
         return False

@@ -79,3 +79,43 @@ class TestBuild:
     def test_repr(self, built_index):
         index, _ = built_index
         assert "built" in repr(index)
+
+
+class TestRowViews:
+    def test_row_matches_dict_view(self, built_index):
+        index, database = built_index
+        for graph_id in range(len(database.graphs)):
+            row = index.row(graph_id)
+            dict_view = index.bounds_for_graph(graph_id)
+            for column, feature_id in enumerate(row.feature_ids):
+                feature_id = int(feature_id)
+                if row.present[column]:
+                    assert dict_view[feature_id].as_pair() == row.interval(column)
+                else:
+                    assert feature_id not in dict_view
+
+    def test_row_rejects_unknown_graph(self, built_index):
+        index, _ = built_index
+        with pytest.raises(IndexError_):
+            index.row(9999)
+
+
+class TestPersistence:
+    def test_round_trip_preserves_everything(self, built_index, tmp_path):
+        index, _ = built_index
+        index.save(tmp_path / "pmi")
+        loaded = type(index).load(tmp_path / "pmi")
+        assert loaded.entries() == index.entries()
+        assert loaded.summary() == index.summary()
+        assert loaded.feature_config == index.feature_config
+        assert loaded.bound_config == index.bound_config
+        for feature in index.features:
+            restored = loaded.feature_by_id(feature.feature_id)
+            assert restored.canonical == feature.canonical
+            assert restored.support == feature.support
+
+    def test_save_requires_built(self, tmp_path):
+        from repro.pmi import ProbabilisticMatrixIndex
+
+        with pytest.raises(IndexError_):
+            ProbabilisticMatrixIndex().save(tmp_path / "pmi")
