@@ -1,0 +1,105 @@
+"""Sharded multiprocess search: partition the database, fan queries out.
+
+Builds the same synthetic PPI database twice — once behind the sequential
+planner, once split into 4 shards with per-shard PMI slices — runs an
+identical workload through both, and shows that the answers match exactly
+while the sharded run uses every core the machine has.  Also demonstrates
+the warm-start path: shard PMI slices are persisted (npz+JSON) on the first
+build and loaded on the second.
+
+Run with:  python examples/sharded_search.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import ProbabilisticGraphDatabase, SearchConfig, VerificationConfig
+from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_query_workload
+from repro.pmi import BoundConfig, FeatureSelectionConfig
+from repro.utils.timer import Timer
+
+NUM_SHARDS = 4
+SEED = 7
+
+
+def main() -> None:
+    dataset = generate_ppi_database(
+        PPIDatasetConfig(num_graphs=16, vertices_per_graph=12, edges_per_graph=16), rng=SEED
+    )
+    feature_config = FeatureSelectionConfig(max_vertices=3, max_features=16)
+    bound_config = BoundConfig(num_samples=120)
+    workload = generate_query_workload(dataset.graphs, query_size=3, num_queries=6, rng=SEED)
+    queries = workload.queries()
+    search_config = SearchConfig(
+        verification=VerificationConfig(method="sampling", num_samples=300)
+    )
+
+    # 1. Sequential baseline: one planner, one core.
+    sequential = ProbabilisticGraphDatabase(dataset.graphs)
+    sequential.build_index(
+        feature_config=feature_config, bound_config=bound_config, rng=SEED
+    )
+    timer = Timer()
+    with timer:
+        sequential_results = sequential.query_many(
+            queries, 0.3, 1, config=search_config, rng=SEED
+        )
+    print(f"sequential: {len(queries)} queries in {timer.elapsed:.3f}s")
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # 2. Sharded: K contiguous shards, each with its own PMI slice,
+        #    structural slice and planner; queries fan out over a process pool.
+        build_timer = Timer()
+        with build_timer:
+            sharded = ProbabilisticGraphDatabase(dataset.graphs)
+            sharded.build_index(
+                feature_config=feature_config,
+                bound_config=bound_config,
+                rng=SEED,
+                num_shards=NUM_SHARDS,
+                shard_cache_dir=cache_dir,
+            )
+        print(f"sharded index build (cold, {NUM_SHARDS} shards): {build_timer.elapsed:.3f}s")
+
+        timer = Timer()
+        with timer:
+            sharded_results = sharded.query_many(
+                queries, 0.3, 1, config=search_config, rng=SEED
+            )
+        sharded.close()
+        print(f"sharded:    {len(queries)} queries in {timer.elapsed:.3f}s")
+
+        # 3. Determinism: the sharded executor returns byte-for-byte the
+        #    sequential planner's answers — same ids, SSP estimates, order.
+        agree = all(
+            [(a.graph_id, a.probability) for a in sequential_result.answers]
+            == [(a.graph_id, a.probability) for a in sharded_result.answers]
+            for sequential_result, sharded_result in zip(sequential_results, sharded_results)
+        )
+        print(f"sharded answers identical to sequential: {agree}")
+
+        # 4. Warm start: the shard slices were persisted above, so a rebuild
+        #    loads them instead of recomputing any SIP bounds.
+        warm_timer = Timer()
+        with warm_timer:
+            warm = ProbabilisticGraphDatabase(dataset.graphs)
+            warm.build_index(
+                feature_config=feature_config,
+                bound_config=bound_config,
+                rng=SEED,
+                num_shards=NUM_SHARDS,
+                shard_cache_dir=cache_dir,
+            )
+        print(f"sharded index build (warm cache):        {warm_timer.elapsed:.3f}s")
+
+    for sequential_result, query in zip(sequential_results, queries):
+        merged = sequential_result.statistics
+        print(
+            f"  query |E|={query.num_edges}: answers={len(sequential_result.answers)} "
+            f"pruned={merged.pruned_by_upper_bound} verified={merged.verified}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,7 @@ from repro.pmi import (
 from repro.core import (
     ProbabilisticGraphDatabase,
     QueryPlanner,
+    ShardedPlanner,
     SearchConfig,
     Verifier,
     VerificationConfig,
@@ -85,6 +86,7 @@ __all__ = [
     "compute_sip_bounds",
     "ProbabilisticGraphDatabase",
     "QueryPlanner",
+    "ShardedPlanner",
     "SearchConfig",
     "aggregate_statistics",
     "Verifier",

@@ -16,6 +16,13 @@ from repro.core.verification import Verifier, VerificationConfig
 from repro.core.results import QueryAnswer, QueryResult, QueryStatistics, aggregate_statistics
 from repro.core.planner import QueryPlan, QueryPlanner
 from repro.core.search_engine import ProbabilisticGraphDatabase, SearchConfig
+from repro.core.sharding import (
+    DatabaseShard,
+    ShardSpec,
+    ShardedPlanner,
+    merge_query_results,
+    partition_ranges,
+)
 
 __all__ = [
     "QueryResult",
@@ -39,4 +46,9 @@ __all__ = [
     "QueryPlanner",
     "ProbabilisticGraphDatabase",
     "SearchConfig",
+    "DatabaseShard",
+    "ShardSpec",
+    "ShardedPlanner",
+    "merge_query_results",
+    "partition_ranges",
 ]

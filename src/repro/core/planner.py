@@ -33,8 +33,16 @@ from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.index import ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
 from repro.structural.similarity_filter import StructuralFilter
-from repro.utils.rng import RandomLike, ensure_rng
+from repro.utils.rng import RandomLike, derive_rng, rng_root
 from repro.utils.timer import Timer
+
+# Stage tags for the per-graph RNG stream derivation.  Every stochastic
+# sub-task derives its generator as derive_rng(root, STAGE, global_graph_id),
+# so the streams a graph consumes depend only on (root, stage, graph id) —
+# never on how many other candidates ran before it in this process.  That is
+# what lets a sharded executor reproduce the sequential planner bit-for-bit.
+PRUNE_STREAM = 1
+VERIFY_STREAM = 2
 
 
 def validate_query(
@@ -82,10 +90,16 @@ class QueryPlanner:
         graphs: list[ProbabilisticGraph],
         pmi: ProbabilisticMatrixIndex,
         structural_index: StructuralFeatureIndex,
+        graph_id_offset: int = 0,
     ) -> None:
         self.graphs = graphs
         self.pmi = pmi
         self.structural_index = structural_index
+        # When the planner owns a shard (a contiguous slice of a larger
+        # database), local row 0 is global graph `graph_id_offset`: answers
+        # and RNG stream salts always use global ids so a sharded run is
+        # indistinguishable from the sequential one.
+        self.graph_id_offset = graph_id_offset
         self.skeletons = [graph.skeleton for graph in graphs]
         self.structural_filter = StructuralFilter(structural_index, self.skeletons)
         self.pruner = ProbabilisticPruner(pmi.features)
@@ -168,8 +182,17 @@ class QueryPlanner:
         ]
 
     def execute_plan(self, plan: QueryPlan, rng: RandomLike = None) -> QueryResult:
-        """Run the three pipeline stages of Section 1.2 for one plan."""
-        generator = ensure_rng(rng)
+        """Run the three pipeline stages of Section 1.2 for one plan.
+
+        The ``rng`` argument is collapsed to a 64-bit *root* and every
+        stochastic per-candidate task (QP rounding in pruning, Karp–Luby
+        sampling in verification) derives its own generator from
+        ``(root, stage, global graph id)``.  Results therefore depend only on
+        the root and the graph, not on candidate ordering or database
+        partitioning — a sharded executor passing the same root reproduces
+        this method's answers exactly.
+        """
+        root = rng_root(rng)
         result = QueryResult()
         stats = result.statistics
         stats.database_size = len(self.graphs)
@@ -178,18 +201,18 @@ class QueryPlanner:
             stats.relaxed_query_count = len(plan.relaxed_queries)
             candidate_ids = self._structural_stage(plan, stats)
             candidate_ids, accepted = self._probabilistic_stage(
-                plan, candidate_ids, stats, generator
+                plan, candidate_ids, stats, root
             )
             for graph_id, lower_bound in accepted:
                 result.answers.append(
                     QueryAnswer(
-                        graph_id=graph_id,
+                        graph_id=self.graph_id_offset + graph_id,
                         graph_name=self.graphs[graph_id].name,
                         probability=lower_bound,
                         decided_by="lower_bound",
                     )
                 )
-            self._verification_stage(plan, candidate_ids, stats, result, generator)
+            self._verification_stage(plan, candidate_ids, stats, result, root)
         stats.total_seconds = total_timer.elapsed
         stats.answers = len(result.answers)
         result.answers.sort(key=lambda a: (-a.probability, a.graph_id))
@@ -212,7 +235,7 @@ class QueryPlanner:
         plan: QueryPlan,
         candidate_ids: list[int],
         stats: QueryStatistics,
-        rng,
+        root: int,
     ) -> tuple[list[int], list[tuple[int, float]]]:
         if not plan.config.use_probabilistic_pruning:
             stats.probabilistic_candidates = len(candidate_ids)
@@ -225,7 +248,7 @@ class QueryPlanner:
                     plan.relaxed_queries,
                     self.pmi.row(graph_id),
                     plan.containment,
-                    rng=rng,
+                    rng=derive_rng(root, PRUNE_STREAM, self.graph_id_offset + graph_id),
                 )
                 for graph_id in candidate_ids
             ]
@@ -258,14 +281,16 @@ class QueryPlanner:
         candidate_ids: list[int],
         stats: QueryStatistics,
         result: QueryResult,
-        rng,
+        root: int,
     ) -> None:
         verifier = self._verifier_for(plan)
-        verifier.rng = rng
         timer = Timer()
         with timer:
             for graph_id in candidate_ids:
                 stats.verified += 1
+                verifier.rng = derive_rng(
+                    root, VERIFY_STREAM, self.graph_id_offset + graph_id
+                )
                 is_answer, probability = verifier.matches(
                     plan.query,
                     self.graphs[graph_id],
@@ -276,7 +301,7 @@ class QueryPlanner:
                 if is_answer:
                     result.answers.append(
                         QueryAnswer(
-                            graph_id=graph_id,
+                            graph_id=self.graph_id_offset + graph_id,
                             graph_name=self.graphs[graph_id].name,
                             probability=probability,
                             decided_by="verification",

@@ -39,6 +39,42 @@ class QueryStatistics:
     total_seconds: float = 0.0
     relaxed_query_count: int = 0
 
+    @classmethod
+    def merge(cls, parts: Iterable["QueryStatistics"]) -> "QueryStatistics":
+        """Combine per-shard statistics of *one* query into whole-database stats.
+
+        Each shard runs the full pipeline over a disjoint slice of the
+        database, so candidate/pruned/accepted/verified/answer counters (and
+        the per-shard database sizes) sum to exactly the sequential planner's
+        counters.  Wall-clock fields take the *max* over shards — the
+        critical path of a concurrent run; when shards instead run serially
+        in-process (``max_workers<=1``) this understates total elapsed time,
+        so treat the counters as the contract and the timings as concurrent-
+        execution diagnostics.  ``relaxed_query_count`` also takes the max:
+        every shard computes it identically for the same query.
+        """
+        merged = cls()
+        for stats in parts:
+            merged.database_size += stats.database_size
+            merged.structural_candidates += stats.structural_candidates
+            merged.probabilistic_candidates += stats.probabilistic_candidates
+            merged.accepted_by_lower_bound += stats.accepted_by_lower_bound
+            merged.pruned_by_upper_bound += stats.pruned_by_upper_bound
+            merged.verified += stats.verified
+            merged.answers += stats.answers
+            merged.structural_seconds = max(merged.structural_seconds, stats.structural_seconds)
+            merged.probabilistic_seconds = max(
+                merged.probabilistic_seconds, stats.probabilistic_seconds
+            )
+            merged.verification_seconds = max(
+                merged.verification_seconds, stats.verification_seconds
+            )
+            merged.total_seconds = max(merged.total_seconds, stats.total_seconds)
+            merged.relaxed_query_count = max(
+                merged.relaxed_query_count, stats.relaxed_query_count
+            )
+        return merged
+
     def as_dict(self) -> dict:
         """Plain-dict view (benchmarks serialize this)."""
         return {

@@ -27,6 +27,15 @@ Typical usage::
     database.pmi.save("pmi_dir")
     other = ProbabilisticGraphDatabase(graphs)
     other.build_index(pmi=ProbabilisticMatrixIndex.load("pmi_dir"))
+
+    # scale across cores: K shards, queries fan out over a process pool
+    # (note: the full matrices then live sliced inside the shards, so
+    # ``database.pmi``/``database.structural_index`` are None — persist via
+    # shard_cache_dir=..., which also makes warm rebuilds load, not compute)
+    parallel = ProbabilisticGraphDatabase(graphs)
+    parallel.build_index(num_shards=4, shard_cache_dir="shards_dir", rng=7)
+    results = parallel.query_many(queries, 0.5, 2)
+    parallel.close()  # or use the database as a context manager
 """
 
 from __future__ import annotations
@@ -45,7 +54,7 @@ from repro.pmi.bounds import BoundConfig
 from repro.pmi.features import FeatureSelectionConfig
 from repro.pmi.index import ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
-from repro.utils.rng import RandomLike, ensure_rng
+from repro.utils.rng import RandomLike
 
 
 @dataclass
@@ -79,31 +88,71 @@ class ProbabilisticGraphDatabase:
         bound_config: BoundConfig | None = None,
         rng: RandomLike = None,
         pmi: ProbabilisticMatrixIndex | None = None,
+        num_shards: int = 1,
+        max_workers: int | None = None,
+        shard_cache_dir=None,
     ) -> "ProbabilisticGraphDatabase":
         """Mine features, build both indexes, and construct the query planner.
 
         Pass a prebuilt (for example :meth:`ProbabilisticMatrixIndex.load`-ed)
         ``pmi`` to skip the expensive SIP-bound computation; it must have been
         built over the same graphs in the same order.
+
+        With ``num_shards > 1`` the database is partitioned into contiguous
+        shards: per-shard PMI construction fans out to ``max_workers``
+        processes (``None`` → cpu count) and queries execute through a
+        :class:`~repro.core.sharding.ShardedPlanner`, with answers identical
+        to the sequential path.  ``shard_cache_dir`` persists each shard's
+        PMI slice (npz+JSON) so warm rebuilds load instead of recompute —
+        except on the prebuilt-``pmi`` path, where the cache is not
+        consulted (the expensive bounds are already in hand) and structural
+        counts are rebuilt in the parent.  ``num_shards=1`` is exactly the
+        sequential single-planner path — ``max_workers`` and
+        ``shard_cache_dir`` only take effect with ``num_shards > 1`` (for a
+        persisted sequential index use ``database.pmi.save()``).
         """
-        generator = ensure_rng(rng)
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+        if pmi is not None and (feature_config is not None or bound_config is not None):
+            raise IndexError_(
+                "feature_config/bound_config conflict with a prebuilt pmi; "
+                "the loaded index already carries its build configuration"
+            )
+        if pmi is not None and pmi.database_size != len(self.graphs):
+            raise IndexError_(
+                f"prebuilt PMI covers {pmi.database_size} graphs, "
+                f"database has {len(self.graphs)}"
+            )
+        # a rebuild replaces the planner; shut down any worker pool the old
+        # one may own before dropping the reference
+        self.close()
+        if num_shards > 1:
+            from repro.core.sharding import ShardedPlanner
+
+            self.planner = ShardedPlanner.build(
+                self.graphs,
+                num_shards=num_shards,
+                feature_config=feature_config,
+                bound_config=bound_config,
+                rng=rng,
+                max_workers=max_workers,
+                cache_dir=shard_cache_dir,
+                pmi=pmi,
+            )
+            # the full matrices live sliced inside the shards; the engine-level
+            # handles stay unset so nothing mistakes a shard view for the whole
+            self.pmi = None
+            self.structural_index = None
+            return self
         if pmi is not None:
-            if feature_config is not None or bound_config is not None:
-                raise IndexError_(
-                    "feature_config/bound_config conflict with a prebuilt pmi; "
-                    "the loaded index already carries its build configuration"
-                )
-            if pmi.database_size != len(self.graphs):
-                raise IndexError_(
-                    f"prebuilt PMI covers {pmi.database_size} graphs, "
-                    f"database has {len(self.graphs)}"
-                )
             self.pmi = pmi
         else:
             self.pmi = ProbabilisticMatrixIndex(
                 feature_config=feature_config, bound_config=bound_config
             )
-            self.pmi.build(self.graphs, rng=generator)
+            # rng passes through unwrapped: an int seed must yield the same
+            # 64-bit root here as in the sharded build path
+            self.pmi.build(self.graphs, rng=rng)
         self.structural_index = StructuralFeatureIndex(
             embedding_limit=self.pmi.feature_config.embedding_limit
         )
@@ -116,6 +165,23 @@ class ProbabilisticGraphDatabase:
     @property
     def is_indexed(self) -> bool:
         return self.planner is not None
+
+    def close(self) -> None:
+        """Release planner-held resources (the sharded worker pool).
+
+        Idempotent, and a no-op for the sequential planner; the database
+        stays queryable — a sharded planner lazily re-creates its pool on
+        the next query.
+        """
+        closer = getattr(self.planner, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "ProbabilisticGraphDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __len__(self) -> int:
         return len(self.graphs)

@@ -1,0 +1,564 @@
+"""Sharded multiprocess query execution over database partitions.
+
+The T-PS pipeline is embarrassingly partitionable: every candidate graph is
+filtered, pruned, and verified independently of every other graph, so a
+database of N probabilistic graphs can be split into K contiguous *shards*,
+each owning a PMI row slice, a structural-index row slice, and its own
+:class:`~repro.core.planner.QueryPlanner`.  :class:`ShardedPlanner` fans
+``query()`` / ``query_many()`` out over a ``concurrent.futures`` process
+pool (one task per shard) and merges the per-shard :class:`QueryResult`s
+deterministically.
+
+Determinism is the load-bearing property.  Two ingredients make a sharded
+run reproduce the sequential planner *exactly*, regardless of K, worker
+count, or OS scheduling:
+
+1. **Per-graph RNG streams.**  Every stochastic sub-task derives its
+   generator from ``(root, stage, global graph id)``
+   (:func:`repro.utils.rng.derive_rng`), so the random draws a graph
+   consumes never depend on which process handles it or how many other
+   candidates ran first.  The per-query roots themselves are derived in the
+   parent, in query order, before any fan-out.
+2. **Deterministic merge.**  Per-shard answers are concatenated and sorted
+   by ``(-probability, graph_id)`` — the sequential planner's order — and
+   per-shard statistics combine via :meth:`QueryStatistics.merge` (counters
+   sum across the disjoint slices; wall-clock fields take the critical-path
+   max).
+
+Index build parallelizes the same way: features are mined once over the
+full database in the parent (identical to the sequential path), then each
+worker fills its shard's PMI cells and structural counts.  With a
+``cache_dir`` each shard slice is persisted in the npz+JSON format of
+:meth:`ProbabilisticMatrixIndex.save`, so warm workers load instead of
+rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.planner import QueryPlanner
+from repro.core.results import QueryResult, QueryStatistics
+from repro.exceptions import IndexError_
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.probabilistic_graph import ProbabilisticGraph
+from repro.pmi.features import Feature, FeatureMiner, FeatureSelectionConfig
+from repro.pmi.bounds import BoundConfig
+from repro.pmi.index import ProbabilisticMatrixIndex
+from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.rng import RandomLike, rng_root
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice ``[start, stop)`` of the global graph-id space."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def global_ids(self) -> range:
+        return range(self.start, self.stop)
+
+
+def partition_ranges(num_graphs: int, num_shards: int) -> list[ShardSpec]:
+    """Balanced contiguous partition of ``range(num_graphs)`` into K shards.
+
+    The first ``num_graphs % num_shards`` shards get one extra graph (the
+    ``numpy.array_split`` rule).  ``num_shards`` is clamped to ``num_graphs``
+    so no shard is ever empty.
+    """
+    if num_graphs <= 0:
+        raise ValueError("cannot partition an empty database")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+    num_shards = min(num_shards, num_graphs)
+    base, extra = divmod(num_graphs, num_shards)
+    specs: list[ShardSpec] = []
+    start = 0
+    for shard_id in range(num_shards):
+        size = base + (1 if shard_id < extra else 0)
+        specs.append(ShardSpec(shard_id=shard_id, start=start, stop=start + size))
+        start += size
+    return specs
+
+
+@dataclass
+class DatabaseShard:
+    """One shard's graphs plus its PMI and structural-index row slices."""
+
+    spec: ShardSpec
+    graphs: list[ProbabilisticGraph]
+    pmi: ProbabilisticMatrixIndex
+    structural_index: StructuralFeatureIndex
+
+    def make_planner(self) -> QueryPlanner:
+        """A planner whose answers and RNG salts use *global* graph ids."""
+        return QueryPlanner(
+            self.graphs,
+            self.pmi,
+            self.structural_index,
+            graph_id_offset=self.spec.start,
+        )
+
+
+# ----------------------------------------------------------------------
+# result merging
+# ----------------------------------------------------------------------
+def merge_query_results(parts: list[QueryResult]) -> QueryResult:
+    """Combine per-shard results of one query into a whole-database result.
+
+    Shards cover disjoint graph-id slices, so the merged answer list is the
+    concatenation re-sorted by ``(-probability, graph_id)`` — precisely the
+    sequential planner's output order — and the counters sum via
+    :meth:`QueryStatistics.merge`.
+    """
+    merged = QueryResult()
+    for part in parts:
+        merged.answers.extend(part.answers)
+    merged.answers.sort(key=lambda a: (-a.probability, a.graph_id))
+    merged.statistics = QueryStatistics.merge(part.statistics for part in parts)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# shard construction (runs in worker processes)
+# ----------------------------------------------------------------------
+def shard_cache_path(cache_dir: str | Path, shard_id: int) -> Path:
+    """Directory holding one shard's persisted PMI slice."""
+    return Path(cache_dir) / f"shard_{shard_id:03d}"
+
+
+_SHARD_SIDECAR = "shard_build.json"
+_SHARD_COUNTS = "structural_counts.npy"
+
+
+def _features_fingerprint(features: list[Feature]) -> list[tuple[int, str]]:
+    return [(feature.feature_id, feature.canonical) for feature in features]
+
+
+def _graphs_fingerprint(graphs: list[ProbabilisticGraph]) -> str:
+    """Content hash of a shard's graphs — skeletons *and* probability factors.
+
+    Feature mining only sees skeletons, so edited edge probabilities can
+    leave the mined feature set unchanged; this digest is what makes such an
+    edit invalidate the cache.
+    """
+    from repro.graphs.io import probabilistic_graph_to_dict
+
+    digest = hashlib.sha256()
+    for graph in graphs:
+        digest.update(
+            json.dumps(probabilistic_graph_to_dict(graph), sort_keys=True).encode()
+        )
+    return digest.hexdigest()
+
+
+def _load_cached_shard(
+    directory: Path,
+    spec: ShardSpec,
+    graphs: list[ProbabilisticGraph],
+    features: list[Feature],
+    feature_config: FeatureSelectionConfig,
+    bound_config: BoundConfig,
+    root: int,
+) -> tuple[ProbabilisticMatrixIndex, StructuralFeatureIndex] | None:
+    """The cached slice, or None when anything about the build disagrees.
+
+    Staleness guard: a cache entry is only reused when the slice geometry,
+    the graph contents, the feature set, *both* build configurations, and
+    the 64-bit build root all match — a cache written under a different
+    seed, sample count, or edited database must trigger a rebuild, or the
+    sharded-equals-sequential guarantee would silently break.  Any unreadable
+    or truncated cache file likewise falls through to a cold rebuild.
+    """
+    sidecar = directory / _SHARD_SIDECAR
+    if not sidecar.exists():
+        return None
+    try:
+        meta = json.loads(sidecar.read_text())
+        cached = ProbabilisticMatrixIndex.load(directory)
+        if (
+            meta.get("root") != root
+            or meta.get("start") != spec.start
+            or meta.get("stop") != spec.stop
+            or meta.get("graphs") != _graphs_fingerprint(graphs)
+            or cached.database_size != spec.size
+            or cached.feature_config != feature_config
+            or cached.bound_config != bound_config
+            or _features_fingerprint(cached.features) != _features_fingerprint(features)
+        ):
+            return None
+        counts = np.load(directory / _SHARD_COUNTS)
+    except (
+        IndexError_,
+        json.JSONDecodeError,
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zipfile.BadZipFile,
+    ):
+        # missing, corrupt, or half-written cache entries rebuild cold
+        return None
+    if counts.shape != (spec.size, len(features)):
+        return None
+    structural = StructuralFeatureIndex.from_counts(
+        cached.features, counts, embedding_limit=feature_config.embedding_limit
+    )
+    return cached, structural
+
+
+def build_shard(
+    spec: ShardSpec,
+    graphs: list[ProbabilisticGraph],
+    features: list[Feature],
+    feature_config: FeatureSelectionConfig,
+    bound_config: BoundConfig,
+    root: int,
+    cache_dir: str | Path | None,
+) -> DatabaseShard:
+    """Build (or load from cache) one shard's PMI slice and structural slice.
+
+    Runs in a worker process during parallel index builds; also callable
+    in-process for the sequential fallback.  The cache stores the PMI slice
+    (npz+JSON), the structural count matrix, and a sidecar recording the
+    build root and slice geometry; a warm hit skips both the SIP-bound
+    computation and the embedding enumeration.
+    """
+    if cache_dir is not None:
+        cached = _load_cached_shard(
+            shard_cache_path(cache_dir, spec.shard_id),
+            spec,
+            graphs,
+            features,
+            feature_config,
+            bound_config,
+            root,
+        )
+        if cached is not None:
+            pmi, structural = cached
+            return DatabaseShard(
+                spec=spec, graphs=graphs, pmi=pmi, structural_index=structural
+            )
+    pmi = ProbabilisticMatrixIndex(feature_config=feature_config, bound_config=bound_config)
+    pmi.build(graphs, features=features, rng=root, graph_id_offset=spec.start)
+    structural = StructuralFeatureIndex(embedding_limit=feature_config.embedding_limit)
+    structural.build([graph.skeleton for graph in graphs], pmi.features)
+    if cache_dir is not None:
+        directory = shard_cache_path(cache_dir, spec.shard_id)
+        # the sidecar is the entry's commit marker: written last, and removed
+        # *before* any file of an existing entry is overwritten — a crash
+        # mid-rewrite must never leave an old sidecar validating new arrays
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / _SHARD_SIDECAR).unlink(missing_ok=True)
+        pmi.save(directory)
+        np.save(directory / _SHARD_COUNTS, structural.counts_matrix())
+        (directory / _SHARD_SIDECAR).write_text(
+            json.dumps(
+                {
+                    "root": root,
+                    "start": spec.start,
+                    "stop": spec.stop,
+                    "graphs": _graphs_fingerprint(graphs),
+                }
+            )
+        )
+    return DatabaseShard(spec=spec, graphs=graphs, pmi=pmi, structural_index=structural)
+
+
+# ----------------------------------------------------------------------
+# query execution (runs in worker processes)
+# ----------------------------------------------------------------------
+# One pool worker caches the shards it has seen (sent once via the pool
+# initializer) and lazily builds a QueryPlanner per shard on first use, so
+# steady-state tasks ship only (shard_id, queries, thresholds, roots).
+_WORKER_SHARDS: dict[int, DatabaseShard] = {}
+_WORKER_PLANNERS: dict[int, QueryPlanner] = {}
+
+
+def _init_query_worker(shards: list[DatabaseShard]) -> None:
+    _WORKER_SHARDS.clear()
+    _WORKER_PLANNERS.clear()
+    for shard in shards:
+        _WORKER_SHARDS[shard.spec.shard_id] = shard
+
+
+def _run_shard_workload(shard_id: int, plans, roots: list[int]) -> list[QueryResult]:
+    planner = _WORKER_PLANNERS.get(shard_id)
+    if planner is None:
+        planner = _WORKER_SHARDS[shard_id].make_planner()
+        _WORKER_PLANNERS[shard_id] = planner
+    return [planner.execute_plan(plan, rng=root) for plan, root in zip(plans, roots)]
+
+
+# ----------------------------------------------------------------------
+# the sharded planner
+# ----------------------------------------------------------------------
+class ShardedPlanner:
+    """Fans T-PS queries out over K database shards and merges the answers.
+
+    Drop-in for :class:`QueryPlanner` at the engine level: ``execute`` /
+    ``execute_many`` take the same arguments and return results identical to
+    the sequential planner's, independent of shard count and worker count.
+    ``max_workers`` picks the process-pool width for query fan-out
+    (``None`` → ``min(num_shards, cpu_count)``); at width <= 1 shards run
+    in-process, which is also the zero-dependency fallback path.
+    """
+
+    def __init__(self, shards: list[DatabaseShard], max_workers: int | None = None) -> None:
+        if not shards:
+            raise ValueError("a sharded planner needs at least one shard")
+        ordered = sorted(shards, key=lambda shard: shard.spec.start)
+        expected_start = 0
+        seen_ids: set[int] = set()
+        for shard in ordered:
+            if shard.spec.start != expected_start:
+                raise ValueError(
+                    "shards must tile the graph-id space contiguously; "
+                    f"expected a shard starting at {expected_start}, "
+                    f"got {shard.spec!r}"
+                )
+            expected_start = shard.spec.stop
+            # planner caches and pool tasks are keyed by shard_id
+            if shard.spec.shard_id in seen_ids:
+                raise ValueError(f"duplicate shard id {shard.spec.shard_id!r}")
+            seen_ids.add(shard.spec.shard_id)
+        self.shards = ordered
+        self.max_workers = max_workers
+        self._executor: ProcessPoolExecutor | None = None
+        self._executor_width = 0
+        self._local_planners: dict[int, QueryPlanner] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graphs: list[ProbabilisticGraph],
+        num_shards: int,
+        feature_config: FeatureSelectionConfig | None = None,
+        bound_config: BoundConfig | None = None,
+        rng: RandomLike = None,
+        max_workers: int | None = None,
+        cache_dir: str | Path | None = None,
+        pmi: ProbabilisticMatrixIndex | None = None,
+    ) -> "ShardedPlanner":
+        """Partition ``graphs`` and build every shard's indexes.
+
+        Features are mined once over the full database in the parent (the
+        same mining the sequential path performs), then per-shard SIP-bound
+        computation fans out to worker processes.  Passing a prebuilt full
+        ``pmi`` skips all bound computation: the loaded index is row-sliced
+        into the shards via :meth:`ProbabilisticMatrixIndex.subset`.  On that
+        path ``cache_dir`` is not consulted — the expensive SIP bounds are
+        already in hand — and the structural counts are rebuilt in the
+        parent; use a seed-keyed ``cache_dir`` build (no ``pmi``) when warm
+        restarts should skip the embedding enumeration too.
+
+        The cache key includes the 64-bit build root, so ``cache_dir`` only
+        pays off with a deterministic ``rng`` (an int seed or a seeded
+        generator): with ``rng=None`` every build draws a fresh root and the
+        cache can never hit.
+        """
+        if not graphs:
+            raise ValueError("the database needs at least one probabilistic graph")
+        specs = partition_ranges(len(graphs), num_shards)
+        if pmi is not None:
+            if feature_config is not None or bound_config is not None:
+                raise IndexError_(
+                    "feature_config/bound_config conflict with a prebuilt pmi; "
+                    "the loaded index already carries its build configuration"
+                )
+            if pmi.database_size != len(graphs):
+                raise IndexError_(
+                    f"prebuilt PMI covers {pmi.database_size} graphs, "
+                    f"database has {len(graphs)}"
+                )
+            structural = StructuralFeatureIndex(
+                embedding_limit=pmi.feature_config.embedding_limit
+            )
+            structural.build([graph.skeleton for graph in graphs], pmi.features)
+            shards = [
+                DatabaseShard(
+                    spec=spec,
+                    graphs=graphs[spec.start : spec.stop],
+                    pmi=pmi.subset(spec.global_ids()),
+                    structural_index=structural.subset(spec.global_ids()),
+                )
+                for spec in specs
+            ]
+            return cls(shards, max_workers=max_workers)
+
+        feature_cfg = feature_config or FeatureSelectionConfig()
+        bound_cfg = bound_config or BoundConfig()
+        root = rng_root(rng)
+        features = FeatureMiner(feature_cfg).mine(graphs)
+        tasks = [
+            (spec, graphs[spec.start : spec.stop], features, feature_cfg, bound_cfg, root, cache_dir)
+            for spec in specs
+        ]
+        workers = _resolve_workers(max_workers, len(specs))
+        if workers <= 1:
+            shards = [build_shard(*task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(build_shard, *task) for task in tasks]
+                shards = [future.result() for future in futures]
+        return cls(shards, max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def database_size(self) -> int:
+        return self.shards[-1].spec.stop
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: LabeledGraph,
+        probability_threshold: float,
+        distance_threshold: int,
+        config=None,
+        rng: RandomLike = None,
+    ) -> QueryResult:
+        """One T-PS query, fanned out over the shards and merged."""
+        return self.execute_many(
+            [query], probability_threshold, distance_threshold, config, rng=rng
+        )[0]
+
+    def execute_many(
+        self,
+        queries: list[LabeledGraph],
+        probability_threshold: float,
+        distance_threshold: int,
+        config=None,
+        rng: RandomLike = None,
+    ) -> list[QueryResult]:
+        """A whole workload: one pool task per shard, each running all queries.
+
+        The per-query RNG roots are derived here, in the parent, in query
+        order — exactly the draws :meth:`QueryPlanner.execute_many` would
+        make — then shipped to every shard so all of them agree on each
+        query's streams.  Planning (validation, Lemma-1 relaxation, and the
+        one-VF2-round-per-feature containment pass) also happens once here:
+        a :class:`QueryPlan` depends only on the query, thresholds, config,
+        and the globally shared feature set, so shards receive finished
+        plans instead of each re-deriving the same one K times.
+        """
+        if not queries:
+            return []
+        roots = [rng_root(rng) for _ in queries]
+        lead = self._planner_for(self.shards[0])
+        plans = [
+            lead.plan(query, probability_threshold, distance_threshold, config)
+            for query in queries
+        ]
+        workers = _resolve_workers(self.max_workers, len(self.shards))
+        if workers <= 1 or len(self.shards) == 1:
+            per_shard = self._execute_serial(plans, roots)
+        else:
+            try:
+                pool = self._ensure_executor(workers)
+                futures = [
+                    pool.submit(_run_shard_workload, shard.spec.shard_id, plans, roots)
+                    for shard in self.shards
+                ]
+                per_shard = [future.result() for future in futures]
+            except BrokenProcessPool:
+                # a killed worker poisons the whole pool; answers are
+                # deterministic either way, so finish this call in-process
+                # and let the next call build a fresh pool
+                self.close()
+                per_shard = self._execute_serial(plans, roots)
+        return [
+            merge_query_results([results[index] for results in per_shard])
+            for index in range(len(queries))
+        ]
+
+    # `query()` / `query_many()` for symmetry with the engine-level API
+    query = execute
+    query_many = execute_many
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a new query re-creates it)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_width = 0
+
+    def __enter__(self) -> "ShardedPlanner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _execute_serial(self, plans, roots: list[int]) -> list[list[QueryResult]]:
+        """All shards in-process: the pool-less (and pool-failure) path."""
+        return [
+            [
+                self._planner_for(shard).execute_plan(plan, rng=root)
+                for plan, root in zip(plans, roots)
+            ]
+            for shard in self.shards
+        ]
+
+    def _planner_for(self, shard: DatabaseShard) -> QueryPlanner:
+        planner = self._local_planners.get(shard.spec.shard_id)
+        if planner is None:
+            planner = shard.make_planner()
+            self._local_planners[shard.spec.shard_id] = planner
+        return planner
+
+    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
+        if self._executor is not None and self._executor_width != workers:
+            self.close()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_query_worker,
+                initargs=(self.shards,),
+            )
+            self._executor_width = workers
+        return self._executor
+
+
+def _resolve_workers(max_workers: int | None, num_tasks: int) -> int:
+    """The effective pool width: never more than tasks, ``None`` → cpu count."""
+    if num_tasks <= 1:
+        return 1
+    if max_workers is None:
+        return min(num_tasks, os.cpu_count() or 1)
+    if max_workers < 0:
+        raise ValueError(f"max_workers must be >= 0, got {max_workers!r}")
+    return min(max_workers, num_tasks)

@@ -30,8 +30,15 @@ from repro.graphs.io import labeled_graph_from_dict, labeled_graph_to_dict
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.bounds import BoundConfig, SipBounds, compute_sip_bounds
 from repro.pmi.features import Feature, FeatureMiner, FeatureSelectionConfig
-from repro.utils.rng import RandomLike, ensure_rng
+from repro.utils.rng import RandomLike, derive_rng, rng_root
+from repro.utils.rows import resolve_row_selector
 from repro.utils.timer import Timer
+
+# Stage tag for the per-graph build streams (see repro.utils.rng.derive_rng):
+# each graph's SIP-bound sampling draws from derive_rng(root, BUILD_STREAM,
+# global graph id), so building a row slice in a worker process yields cells
+# identical to the same rows of a sequential full build.
+BUILD_STREAM = 3
 
 PERSIST_FORMAT_VERSION = 1
 ARRAYS_FILENAME = "pmi_arrays.npz"
@@ -107,9 +114,17 @@ class ProbabilisticMatrixIndex:
         database: list[ProbabilisticGraph],
         features: list[Feature] | None = None,
         rng: RandomLike = None,
+        graph_id_offset: int = 0,
     ) -> "ProbabilisticMatrixIndex":
-        """Mine features (unless provided) and fill every PMI cell."""
-        generator = ensure_rng(rng)
+        """Mine features (unless provided) and fill every PMI cell.
+
+        Monte-Carlo SIP-bound sampling derives one RNG stream per graph from
+        ``(rng, graph_id_offset + row)``, so a shard build over
+        ``database[start:stop]`` with ``graph_id_offset=start`` (and the
+        globally mined ``features``) produces exactly the rows a sequential
+        full build would — regardless of which worker process runs it.
+        """
+        root = rng_root(rng)
         timer = Timer()
         with timer:
             if features is None:
@@ -122,9 +137,10 @@ class ProbabilisticMatrixIndex:
             num_features = len(self.features)
             self._allocate(num_graphs, num_features)
             for graph_id, graph in enumerate(database):
+                graph_rng = derive_rng(root, BUILD_STREAM, graph_id_offset + graph_id)
                 for column, feature in enumerate(self.features):
                     bounds = compute_sip_bounds(
-                        feature.graph, graph, config=self.bound_config, rng=generator
+                        feature.graph, graph, config=self.bound_config, rng=graph_rng
                     )
                     if not bounds.is_empty():
                         self._store_cell(graph_id, column, feature.feature_id, bounds)
@@ -256,6 +272,48 @@ class ProbabilisticMatrixIndex:
         if column is None:
             return []
         return [int(graph_id) for graph_id in np.flatnonzero(self._present[:, column])]
+
+    # ------------------------------------------------------------------
+    # slicing
+    # ------------------------------------------------------------------
+    def subset(self, graph_ids) -> "ProbabilisticMatrixIndex":
+        """A new index over the given rows; features and configs are shared.
+
+        ``graph_ids`` is any sequence (or range) of indexed graph ids; row
+        ``k`` of the subset is the old row ``graph_ids[k]``.  This is how a
+        prebuilt or loaded full PMI is split into shard slices without
+        recomputing any SIP bounds.  Contiguous ascending ranges slice the
+        columnar arrays zero-copy; arbitrary id lists fall back to a fancy-
+        indexed copy.
+        """
+        self._require_built()
+        try:
+            ids, selector = resolve_row_selector(graph_ids, self._present.shape[0])
+        except ValueError as error:
+            raise IndexError_(str(error)) from None
+        sub = ProbabilisticMatrixIndex(
+            feature_config=self.feature_config, bound_config=self.bound_config
+        )
+        sub.features = list(self.features)
+        sub._index_features()
+        sub._lower = self._lower[selector]
+        sub._upper = self._upper[selector]
+        sub._present = self._present[selector]
+        sub._num_embeddings = self._num_embeddings[selector]
+        sub._num_cuts = self._num_cuts[selector]
+        chosen_by_graph: dict[int, list[tuple[int, tuple]]] = {}
+        for (graph_id, feature_id), chosen in self._chosen.items():
+            chosen_by_graph.setdefault(graph_id, []).append((feature_id, chosen))
+        # keyed per output row, so duplicated ids keep their entries too
+        sub._chosen = {
+            (new_id, feature_id): chosen
+            for new_id, old_id in enumerate(ids)
+            for feature_id, chosen in chosen_by_graph.get(old_id, [])
+        }
+        sub.database_size = len(ids)
+        sub.build_seconds = 0.0
+        sub._built = True
+        return sub
 
     # ------------------------------------------------------------------
     # persistence

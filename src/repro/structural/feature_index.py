@@ -31,6 +31,7 @@ import numpy as np
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.isomorphism.embeddings import find_embeddings
 from repro.pmi.features import Feature
+from repro.utils.rows import resolve_row_selector
 
 
 class StructuralFeatureIndex:
@@ -42,6 +43,29 @@ class StructuralFeatureIndex:
         self._counts: np.ndarray = np.empty((0, 0), dtype=np.int32)
         self._feature_pos: dict[int, int] = {}
         self._built = False
+
+    @classmethod
+    def from_counts(
+        cls,
+        features: list[Feature],
+        counts: np.ndarray,
+        embedding_limit: int = 64,
+    ) -> "StructuralFeatureIndex":
+        """Reconstruct an index from a persisted ``counts[graph, feature]``
+        matrix (the shard-cache warm path), skipping embedding enumeration."""
+        if counts.shape[1] != len(features):
+            raise ValueError(
+                f"counts matrix has {counts.shape[1]} feature columns, "
+                f"got {len(features)} features"
+            )
+        index = cls(embedding_limit=embedding_limit)
+        index.features = list(features)
+        index._feature_pos = {
+            feature.feature_id: column for column, feature in enumerate(index.features)
+        }
+        index._counts = np.array(counts, dtype=np.int32)  # own the buffer
+        index._built = True
+        return index
 
     def build(
         self, skeletons: list[LabeledGraph], features: list[Feature]
@@ -61,6 +85,33 @@ class StructuralFeatureIndex:
                     self._counts[graph_id, column] = len(embeddings)
         self._built = True
         return self
+
+    def subset(self, graph_ids) -> "StructuralFeatureIndex":
+        """A new index over the given rows of the count matrix.
+
+        Mirrors :meth:`ProbabilisticMatrixIndex.subset`: row ``k`` of the
+        slice is old row ``graph_ids[k]``, features are shared, and
+        contiguous ascending ranges keep a zero-copy view of the counts.
+        Used to split one built structural index into per-shard slices.
+        """
+        if not self._built:
+            raise ValueError("the structural feature index must be built first")
+        _, selector = resolve_row_selector(graph_ids, self._counts.shape[0])
+        sub = StructuralFeatureIndex(embedding_limit=self.embedding_limit)
+        sub.features = list(self.features)
+        sub._feature_pos = dict(self._feature_pos)
+        sub._counts = self._counts[selector]
+        sub._built = True
+        return sub
+
+    def counts_matrix(self) -> np.ndarray:
+        """The raw ``counts[graph, feature]`` matrix (read-only view; this is
+        what :meth:`from_counts` restores on the shard-cache warm path)."""
+        if not self._built:
+            raise ValueError("the structural feature index must be built first")
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
 
     @property
     def is_built(self) -> bool:

@@ -34,6 +34,58 @@ def ensure_rng(rng: RandomLike = None) -> random.Random:
     raise TypeError(f"rng must be None, an int seed, or a random.Random instance, got {rng!r}")
 
 
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def rng_root(rng: RandomLike = None) -> int:
+    """Collapse any accepted ``rng`` argument into a 64-bit root seed.
+
+    The root is the anchor of the per-item stream derivation used by the
+    planner and the sharded executor: every stochastic sub-task derives its
+    own generator as ``derive_rng(root, *salts)``, so results depend only on
+    ``(root, salts)`` — never on how work was ordered or partitioned across
+    shards and worker processes.
+
+    ``None`` draws a fresh nondeterministic root; an ``int`` seed maps to
+    itself (masked to 64 bits), so re-passing the same seed reproduces the
+    same streams; a ``random.Random`` instance is consumed for one 64-bit
+    draw, preserving sequential-consumption semantics across a batch.
+    """
+    if rng is None:
+        return random.Random().getrandbits(64)
+    if isinstance(rng, random.Random):
+        return rng.getrandbits(64)
+    if isinstance(rng, bool):
+        raise TypeError("rng must be None, an int seed, or a random.Random instance")
+    if isinstance(rng, int):
+        return rng & _MASK64
+    raise TypeError(f"rng must be None, an int seed, or a random.Random instance, got {rng!r}")
+
+
+def derive_seed(root: int, *salts: int) -> int:
+    """Stable 64-bit seed for the sub-stream ``(root, salts)``.
+
+    A splitmix64-style finalizer mixes each salt in turn, so nearby salts
+    (consecutive graph ids, stage tags) give statistically unrelated seeds.
+    The function is pure: the same ``(root, salts)`` yields the same seed in
+    every process, which is what makes sharded execution bit-reproducible.
+    """
+    state = root & _MASK64
+    for salt in salts:
+        state = (state + _GOLDEN + (salt & _MASK64)) & _MASK64
+        z = state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        state = z ^ (z >> 31)
+    return state
+
+
+def derive_rng(root: int, *salts: int) -> random.Random:
+    """A fresh generator for the sub-stream ``(root, salts)``."""
+    return random.Random(derive_seed(root, *salts))
+
+
 def spawn_rng(rng: random.Random, salt: int = 0) -> random.Random:
     """Derive an independent child generator from ``rng``.
 

@@ -100,6 +100,56 @@ class TestRowViews:
             index.row(9999)
 
 
+class TestSubset:
+    def test_subset_rows_match_source(self, built_index):
+        index, _ = built_index
+        sub = index.subset(range(2, 6))
+        assert sub.database_size == 4
+        assert sub.num_features == index.num_features
+        for new_id, old_id in enumerate(range(2, 6)):
+            assert sub.bounds_for_graph(new_id) == index.bounds_for_graph(old_id)
+
+    def test_subset_accepts_arbitrary_id_lists(self, built_index):
+        index, _ = built_index
+        sub = index.subset([5, 1, 3])
+        assert sub.database_size == 3
+        for new_id, old_id in enumerate([5, 1, 3]):
+            assert sub.bounds_for_graph(new_id) == index.bounds_for_graph(old_id)
+
+    def test_subset_rejects_unknown_ids(self, built_index):
+        index, _ = built_index
+        with pytest.raises(IndexError_):
+            index.subset([0, 9999])
+
+    def test_subset_requires_built(self):
+        with pytest.raises(IndexError_):
+            ProbabilisticMatrixIndex().subset([0])
+
+    def test_slice_save_load_roundtrip_equals_slicing_loaded_full(
+        self, built_index, tmp_path
+    ):
+        """save(subset) → load == load(save(full)) → subset: the shard slice
+        persistence path and the slice-a-loaded-index path must agree."""
+        index, _ = built_index
+        ids = range(1, 5)
+
+        index.subset(ids).save(tmp_path / "slice")
+        loaded_slice = ProbabilisticMatrixIndex.load(tmp_path / "slice")
+
+        index.save(tmp_path / "full")
+        sliced_loaded = ProbabilisticMatrixIndex.load(tmp_path / "full").subset(ids)
+
+        assert loaded_slice.entries() == sliced_loaded.entries()
+        assert loaded_slice.database_size == sliced_loaded.database_size == 4
+        assert [f.canonical for f in loaded_slice.features] == [
+            f.canonical for f in sliced_loaded.features
+        ]
+        for graph_id in range(4):
+            assert loaded_slice.bounds_for_graph(graph_id) == sliced_loaded.bounds_for_graph(
+                graph_id
+            )
+
+
 class TestPersistence:
     def test_round_trip_preserves_everything(self, built_index, tmp_path):
         index, _ = built_index

@@ -1,0 +1,450 @@
+"""Randomized cross-shard parity harness and determinism regression tests.
+
+The contract under test: for *any* database, workload, shard count K, and
+worker count, :class:`ShardedPlanner` answers are **identical** to the
+sequential :class:`QueryPlanner` — same accepted set, same pruned set, same
+SSP estimates, same answer order, same counters.  The harness generates
+seeded random probabilistic databases (odd and even sizes) and random T-PS
+workloads, and checks every query under K ∈ {1, 2, 4}.
+
+The determinism regression locks in the per-graph RNG derivation scheme:
+two runs with the same seed must produce byte-identical answers and
+counters even when ``max_workers`` varies (in-process vs a real process
+pool), because every stochastic sub-task seeds itself from
+``(root, stage, global graph id)`` rather than from a shared stream.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    ProbabilisticGraphDatabase,
+    QueryStatistics,
+    SearchConfig,
+    ShardedPlanner,
+    ShardSpec,
+    VerificationConfig,
+    partition_ranges,
+)
+from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
+from repro.pmi import BoundConfig, FeatureSelectionConfig
+
+PROBABILITY_THRESHOLD = 0.3
+DISTANCE_THRESHOLD = 1
+
+FEATURE_CONFIG = FeatureSelectionConfig(
+    alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=10
+)
+# sampling-based verification on purpose: parity must hold for the
+# *stochastic* pipeline, not just the exact one
+SEARCH_CONFIG = SearchConfig(
+    verification=VerificationConfig(method="sampling", num_samples=80)
+)
+
+
+def random_database(seed: int, num_graphs: int):
+    """A small seeded random probabilistic database."""
+    config = PPIDatasetConfig(
+        num_graphs=num_graphs,
+        num_families=2,
+        vertices_per_graph=8,
+        edges_per_graph=9,
+        motif_vertices=3,
+        motif_edges=3,
+        mean_edge_probability=0.6,
+        probability_spread=0.2,
+    )
+    return generate_ppi_database(config, rng=seed)
+
+
+def random_workload(database, seed: int, num_queries: int = 3):
+    """Seeded random T-PS queries extracted from the database's skeletons."""
+    return [
+        extract_query(
+            database.graphs[index % len(database.graphs)].skeleton,
+            3,
+            rng=seed + index,
+        )
+        for index in range(num_queries)
+    ]
+
+
+def answer_tuples(result):
+    return [(a.graph_id, a.graph_name, a.probability, a.decided_by) for a in result.answers]
+
+
+def counter_dict(statistics: QueryStatistics) -> dict:
+    """The deterministic (non-timing) fields of one query's statistics."""
+    full = statistics.as_dict()
+    return {key: value for key, value in full.items() if not key.endswith("_seconds")}
+
+
+def accepted_and_pruned(result):
+    """(accepted-without-verification ids, pruned count) for one query."""
+    accepted = {a.graph_id for a in result.answers if a.decided_by == "lower_bound"}
+    return accepted, result.statistics.pruned_by_upper_bound
+
+
+class TestRandomizedCrossShardParity:
+    """Sharded answers == sequential answers, over randomized workloads."""
+
+    # odd and even database sizes: 7 does not divide evenly by 2 or 4,
+    # 8 splits evenly by both — the two partition edge cases
+    @pytest.mark.parametrize("seed,num_graphs", [(101, 7), (202, 8)])
+    def test_sharded_matches_sequential(self, seed, num_graphs):
+        database = random_database(seed, num_graphs)
+        workload = random_workload(database, seed=seed * 3 + 1)
+
+        sequential = ProbabilisticGraphDatabase(database.graphs)
+        sequential.build_index(
+            feature_config=FEATURE_CONFIG, bound_config=BoundConfig(method="exact"), rng=seed
+        )
+        sequential_results = sequential.query_many(
+            workload, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=seed
+        )
+
+        for num_shards in (1, 2, 4):
+            sharded = ProbabilisticGraphDatabase(database.graphs)
+            sharded.build_index(
+                feature_config=FEATURE_CONFIG,
+                bound_config=BoundConfig(method="exact"),
+                rng=seed,
+                num_shards=num_shards,
+                max_workers=0,  # in-process: parity must not depend on the pool
+            )
+            sharded_results = sharded.query_many(
+                workload, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=seed
+            )
+
+            assert len(sequential_results) == len(sharded_results) == len(workload)
+            for sequential_result, sharded_result in zip(sequential_results, sharded_results):
+                # answers: ids, names, SSP estimates, decision stage, order
+                assert answer_tuples(sequential_result) == answer_tuples(sharded_result)
+                # the accept/prune partition itself
+                assert accepted_and_pruned(sequential_result) == accepted_and_pruned(
+                    sharded_result
+                ), num_shards
+                # every non-timing counter
+                assert counter_dict(sequential_result.statistics) == counter_dict(
+                    sharded_result.statistics
+                ), num_shards
+
+    def test_sampled_bound_build_parity(self):
+        """Parity also holds when the PMI itself is built by Monte-Carlo
+        sampling — the per-graph build streams make shard builds identical
+        to the sequential build."""
+        database = random_database(77, 7)
+        workload = random_workload(database, seed=500)
+        sampled_bounds = BoundConfig(num_samples=40)
+
+        sequential = ProbabilisticGraphDatabase(database.graphs)
+        sequential.build_index(
+            feature_config=FEATURE_CONFIG, bound_config=sampled_bounds, rng=9
+        )
+        sharded = ProbabilisticGraphDatabase(database.graphs)
+        sharded.build_index(
+            feature_config=FEATURE_CONFIG,
+            bound_config=sampled_bounds,
+            rng=9,
+            num_shards=3,
+            max_workers=0,
+        )
+        for query in workload:
+            before = sequential.query(
+                query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=4
+            )
+            after = sharded.query(
+                query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=4
+            )
+            assert answer_tuples(before) == answer_tuples(after)
+
+    def test_single_query_parity_through_process_pool(self):
+        """One end-to-end case through a real process pool (the others run
+        in-process to keep the harness fast)."""
+        database = random_database(303, 6)
+        query = random_workload(database, seed=900, num_queries=1)[0]
+
+        sequential = ProbabilisticGraphDatabase(database.graphs)
+        sequential.build_index(
+            feature_config=FEATURE_CONFIG, bound_config=BoundConfig(method="exact"), rng=1
+        )
+        sharded = ProbabilisticGraphDatabase(database.graphs)
+        sharded.build_index(
+            feature_config=FEATURE_CONFIG,
+            bound_config=BoundConfig(method="exact"),
+            rng=1,
+            num_shards=2,
+            max_workers=2,
+        )
+        try:
+            before = sequential.query(
+                query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=11
+            )
+            after = sharded.query(
+                query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=11
+            )
+        finally:
+            sharded.close()
+        assert answer_tuples(before) == answer_tuples(after)
+        assert counter_dict(before.statistics) == counter_dict(after.statistics)
+
+
+class TestDeterminismRegression:
+    """Same seed ⇒ byte-identical results, independent of worker count."""
+
+    def test_query_many_byte_identical_across_worker_counts(self):
+        database = random_database(404, 7)
+        workload = random_workload(database, seed=40, num_queries=2)
+
+        fingerprints = []
+        for max_workers in (0, 1, 2):
+            engine = ProbabilisticGraphDatabase(database.graphs)
+            engine.build_index(
+                feature_config=FEATURE_CONFIG,
+                bound_config=BoundConfig(method="exact"),
+                rng=21,
+                num_shards=2,
+                max_workers=max_workers,
+            )
+            try:
+                results = engine.query_many(
+                    workload,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    config=SEARCH_CONFIG,
+                    rng=21,
+                )
+            finally:
+                engine.close()
+            # answers and non-timing counters, serialized: wall-clock fields
+            # are the only legitimately nondeterministic state
+            fingerprints.append(
+                pickle.dumps(
+                    [
+                        (tuple(answer_tuples(r)), tuple(sorted(counter_dict(r.statistics).items())))
+                        for r in results
+                    ]
+                )
+            )
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+
+    def test_two_runs_same_seed_identical(self):
+        database = random_database(505, 6)
+        workload = random_workload(database, seed=50, num_queries=2)
+        engine = ProbabilisticGraphDatabase(database.graphs)
+        engine.build_index(
+            feature_config=FEATURE_CONFIG,
+            bound_config=BoundConfig(method="exact"),
+            rng=33,
+            num_shards=3,
+            max_workers=0,
+        )
+        first = engine.query_many(
+            workload, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=33
+        )
+        second = engine.query_many(
+            workload, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=33
+        )
+        for a, b in zip(first, second):
+            assert pickle.dumps(answer_tuples(a)) == pickle.dumps(answer_tuples(b))
+
+
+class TestPartitioning:
+    def test_balanced_contiguous_partition(self):
+        specs = partition_ranges(10, 4)
+        assert [spec.size for spec in specs] == [3, 3, 2, 2]
+        assert specs[0].start == 0 and specs[-1].stop == 10
+        for left, right in zip(specs, specs[1:]):
+            assert left.stop == right.start
+
+    def test_more_shards_than_graphs_clamped(self):
+        specs = partition_ranges(3, 8)
+        assert len(specs) == 3
+        assert all(spec.size == 1 for spec in specs)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_ranges(0, 2)
+        with pytest.raises(ValueError):
+            partition_ranges(5, 0)
+
+    def test_non_contiguous_shards_rejected(self):
+        database = random_database(606, 4)
+        planner = ShardedPlanner.build(
+            database.graphs,
+            num_shards=2,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BoundConfig(method="exact"),
+            rng=2,
+            max_workers=0,
+        )
+        first, second = planner.shards
+        with pytest.raises(ValueError):
+            ShardedPlanner([second])  # starts at the wrong offset
+        with pytest.raises(ValueError):
+            ShardedPlanner([first, first])  # overlapping tiles
+
+
+class TestStatisticsMerge:
+    def test_merge_sums_counters_and_maxes_times(self):
+        left = QueryStatistics(
+            database_size=4,
+            structural_candidates=3,
+            probabilistic_candidates=2,
+            accepted_by_lower_bound=1,
+            pruned_by_upper_bound=1,
+            verified=1,
+            answers=2,
+            structural_seconds=0.5,
+            probabilistic_seconds=0.25,
+            verification_seconds=1.0,
+            total_seconds=2.0,
+            relaxed_query_count=3,
+        )
+        right = QueryStatistics(
+            database_size=3,
+            structural_candidates=2,
+            probabilistic_candidates=2,
+            accepted_by_lower_bound=0,
+            pruned_by_upper_bound=1,
+            verified=2,
+            answers=1,
+            structural_seconds=0.75,
+            probabilistic_seconds=0.1,
+            verification_seconds=0.5,
+            total_seconds=1.5,
+            relaxed_query_count=3,
+        )
+        merged = QueryStatistics.merge([left, right])
+        assert merged.database_size == 7
+        assert merged.structural_candidates == 5
+        assert merged.probabilistic_candidates == 4
+        assert merged.accepted_by_lower_bound == 1
+        assert merged.pruned_by_upper_bound == 2
+        assert merged.verified == 3
+        assert merged.answers == 3
+        assert merged.structural_seconds == 0.75
+        assert merged.probabilistic_seconds == 0.25
+        assert merged.verification_seconds == 1.0
+        assert merged.total_seconds == 2.0
+        assert merged.relaxed_query_count == 3
+
+    def test_merge_of_nothing_is_zero(self):
+        merged = QueryStatistics.merge([])
+        assert merged.as_dict() == QueryStatistics().as_dict()
+
+    def test_sharded_counters_sum_to_sequential(self):
+        """End-to-end: merged shard counters equal the sequential counters."""
+        database = random_database(707, 6)
+        query = random_workload(database, seed=70, num_queries=1)[0]
+        sequential = ProbabilisticGraphDatabase(database.graphs)
+        sequential.build_index(
+            feature_config=FEATURE_CONFIG, bound_config=BoundConfig(method="exact"), rng=8
+        )
+        sharded = ProbabilisticGraphDatabase(database.graphs)
+        sharded.build_index(
+            feature_config=FEATURE_CONFIG,
+            bound_config=BoundConfig(method="exact"),
+            rng=8,
+            num_shards=2,
+            max_workers=0,
+        )
+        before = sequential.query(
+            query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=2
+        )
+        after = sharded.query(
+            query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=2
+        )
+        full_before = before.statistics.as_dict()
+        full_after = after.statistics.as_dict()
+        for key in full_before:
+            if not key.endswith("_seconds"):
+                assert full_before[key] == full_after[key], key
+
+
+class TestShardCache:
+    def test_warm_hit_and_staleness_guard(self, tmp_path, monkeypatch):
+        """A warm cache is reused only for the exact same build (configs and
+        root); a different seed must rebuild rather than serve stale bounds."""
+        import numpy as np
+
+        from repro.pmi import ProbabilisticMatrixIndex
+
+        database = random_database(808, 4)
+        kwargs = dict(
+            num_shards=2,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BoundConfig(num_samples=30),
+            max_workers=0,
+            cache_dir=tmp_path,
+        )
+        cold = ShardedPlanner.build(database.graphs, rng=5, **kwargs)
+
+        # spy on PMI builds: a true warm hit must not rebuild anything —
+        # identical arrays alone could also come from a silent cache miss
+        rebuilds = []
+        original_build = ProbabilisticMatrixIndex.build
+
+        def counting_build(self, *args, **build_kwargs):
+            rebuilds.append(1)
+            return original_build(self, *args, **build_kwargs)
+
+        monkeypatch.setattr(ProbabilisticMatrixIndex, "build", counting_build)
+        warm = ShardedPlanner.build(database.graphs, rng=5, **kwargs)
+        monkeypatch.undo()
+        assert not rebuilds, "warm build recomputed SIP bounds instead of loading"
+        for cold_shard, warm_shard in zip(cold.shards, warm.shards):
+            assert np.array_equal(cold_shard.pmi._lower, warm_shard.pmi._lower)
+            assert np.array_equal(
+                cold_shard.structural_index.counts_matrix(),
+                warm_shard.structural_index.counts_matrix(),
+            )
+
+        # same cache dir, different seed: must match a cache-less fresh build
+        # with that seed, not the cached rng=5 cells
+        stale_guarded = ShardedPlanner.build(database.graphs, rng=6, **kwargs)
+        fresh = ShardedPlanner.build(
+            database.graphs, rng=6, **{**kwargs, "cache_dir": None}
+        )
+        for guarded_shard, fresh_shard in zip(stale_guarded.shards, fresh.shards):
+            assert np.array_equal(guarded_shard.pmi._lower, fresh_shard.pmi._lower)
+            assert np.array_equal(guarded_shard.pmi._upper, fresh_shard.pmi._upper)
+
+    def test_edited_probabilities_invalidate_cache(self, tmp_path):
+        """Edited edge probabilities leave the skeletons (and thus the mined
+        features) unchanged — the graph-content fingerprint must still force
+        a rebuild instead of serving the stale bounds."""
+        import numpy as np
+
+        from repro.graphs import ProbabilisticGraph
+
+        database = random_database(909, 4)
+        kwargs = dict(
+            num_shards=2,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BoundConfig(num_samples=30),
+            rng=5,
+            max_workers=0,
+        )
+        ShardedPlanner.build(database.graphs, cache_dir=tmp_path, **kwargs)
+        edited = [
+            ProbabilisticGraph.from_edge_probabilities(
+                graph.skeleton, {key: 0.5 for key in graph.skeleton.edge_keys()}
+            )
+            for graph in database.graphs
+        ]
+        guarded = ShardedPlanner.build(edited, cache_dir=tmp_path, **kwargs)
+        fresh = ShardedPlanner.build(edited, cache_dir=None, **kwargs)
+        for guarded_shard, fresh_shard in zip(guarded.shards, fresh.shards):
+            assert np.array_equal(guarded_shard.pmi._lower, fresh_shard.pmi._lower)
+            assert np.array_equal(guarded_shard.pmi._upper, fresh_shard.pmi._upper)
+
+
+class TestShardSpec:
+    def test_spec_accessors(self):
+        spec = ShardSpec(shard_id=1, start=3, stop=7)
+        assert spec.size == 4
+        assert list(spec.global_ids()) == [3, 4, 5, 6]

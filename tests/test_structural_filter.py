@@ -40,6 +40,21 @@ class TestFeatureIndex:
         with pytest.raises(ValueError):
             StructuralFilter(StructuralFeatureIndex(), skeletons)
 
+    def test_subset_counts_match_source_rows(self, structural_setup):
+        index, _, _ = structural_setup
+        sub = index.subset(range(2, 5))
+        assert sub.num_graphs == 3
+        assert [f.feature_id for f in sub.features] == [f.feature_id for f in index.features]
+        for new_id, old_id in enumerate(range(2, 5)):
+            assert sub.counts_for_graph(new_id) == index.counts_for_graph(old_id)
+
+    def test_subset_rejects_unknown_or_unbuilt(self, structural_setup):
+        index, _, _ = structural_setup
+        with pytest.raises(ValueError):
+            index.subset([0, 9999])
+        with pytest.raises(ValueError):
+            StructuralFeatureIndex().subset([0])
+
 
 class TestFilterSoundness:
     def test_source_graph_survives(self, structural_setup):
