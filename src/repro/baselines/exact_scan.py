@@ -14,13 +14,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.pipeline import VERIFY_STREAM
+from repro.core.planner import validate_top_k_query
 from repro.core.relaxation import RelaxationConfig, relax_query
 from repro.core.results import QueryAnswer, QueryResult
 from repro.core.verification import VerificationConfig, Verifier
 from repro.exceptions import VerificationError
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
-from repro.utils.rng import RandomLike, ensure_rng
+from repro.utils.rng import RandomLike, derive_rng, ensure_rng, rng_root
 from repro.utils.timer import Timer
 
 
@@ -77,6 +79,58 @@ class ExactScanBaseline:
                             decided_by="verification",
                         )
                     )
+        result.statistics.verification_seconds = timer.elapsed
+        result.statistics.total_seconds = timer.elapsed
+        result.statistics.answers = len(result.answers)
+        return result
+
+    def top_k(
+        self,
+        query_graph: LabeledGraph,
+        k: int,
+        distance_threshold: int,
+        rng: RandomLike = None,
+    ) -> QueryResult:
+        """Reference top-k: verify *every* graph, rank by ``(-p, graph_id)``.
+
+        The index-free ground truth the pipeline's ``query_top_k`` is tested
+        against.  Each graph's verifier draws from the per-graph stream
+        ``(root, VERIFY_STREAM, graph_id)`` — the planner's scheme — so under
+        any verification method both sides compute the *same* per-graph
+        probability and the comparison is exact, not approximate.  Graphs
+        with zero probability are never answers, so fewer than ``k`` answers
+        may return.
+        """
+        validate_top_k_query(query_graph, k, distance_threshold)
+        root = rng_root(rng)
+        verifier = Verifier(
+            config=self.config.verification, relaxation=self.config.relaxation
+        )
+        relaxed = relax_query(query_graph, distance_threshold, self.config.relaxation)
+        result = QueryResult()
+        result.statistics.database_size = len(self.graphs)
+        result.statistics.relaxed_query_count = len(relaxed)
+        ranked: list[tuple[float, int, str | None]] = []
+        timer = Timer()
+        with timer:
+            for graph_id, graph in enumerate(self.graphs):
+                result.statistics.verified += 1
+                verifier.rng = derive_rng(root, VERIFY_STREAM, graph_id)
+                probability = self._verify(
+                    verifier, query_graph, graph, distance_threshold, relaxed
+                )
+                if probability > 0.0:
+                    ranked.append((probability, graph_id, graph.name))
+            ranked.sort(key=lambda entry: (-entry[0], entry[1]))
+            for probability, graph_id, name in ranked[:k]:
+                result.answers.append(
+                    QueryAnswer(
+                        graph_id=graph_id,
+                        graph_name=name,
+                        probability=probability,
+                        decided_by="verification",
+                    )
+                )
         result.statistics.verification_seconds = timer.elapsed
         result.statistics.total_seconds = timer.elapsed
         result.statistics.answers = len(result.answers)

@@ -13,8 +13,33 @@ from repro.core.pruning import (
     SspBounds,
 )
 from repro.core.verification import Verifier, VerificationConfig
-from repro.core.results import QueryAnswer, QueryResult, QueryStatistics, aggregate_statistics
-from repro.core.planner import QueryPlan, QueryPlanner
+from repro.core.results import (
+    QueryAnswer,
+    QueryResult,
+    QueryStatistics,
+    StageStatistics,
+    aggregate_statistics,
+)
+from repro.core.pipeline import (
+    CandidateSet,
+    PipelineContext,
+    PipelineStage,
+    PmiPruningStage,
+    QueryPipeline,
+    StructuralFilterStage,
+    ThresholdState,
+    TopKPartial,
+    VerificationStage,
+    build_default_pipeline,
+    merge_top_k_partials,
+    replay_top_k,
+)
+from repro.core.planner import (
+    QueryPlan,
+    QueryPlanner,
+    validate_query,
+    validate_top_k_query,
+)
 from repro.core.search_engine import ProbabilisticGraphDatabase, SearchConfig
 from repro.core.sharding import (
     DatabaseShard,
@@ -41,9 +66,24 @@ __all__ = [
     "VerificationConfig",
     "QueryAnswer",
     "QueryStatistics",
+    "StageStatistics",
     "aggregate_statistics",
+    "CandidateSet",
+    "PipelineContext",
+    "PipelineStage",
+    "PmiPruningStage",
+    "QueryPipeline",
+    "StructuralFilterStage",
+    "ThresholdState",
+    "TopKPartial",
+    "VerificationStage",
+    "build_default_pipeline",
+    "merge_top_k_partials",
+    "replay_top_k",
     "QueryPlan",
     "QueryPlanner",
+    "validate_query",
+    "validate_top_k_query",
     "ProbabilisticGraphDatabase",
     "SearchConfig",
     "DatabaseShard",

@@ -1,0 +1,573 @@
+"""The staged candidate-pipeline engine behind every query mode.
+
+The paper's query algorithm is a fixed cascade — structural similarity
+filtering (Theorem 1), PMI probabilistic pruning (Theorems 3 & 4), exact
+verification (Section 5) — and earlier revisions hard-wired that cascade
+inside ``QueryPlanner.query()``.  This module turns the cascade into data:
+
+* a :class:`CandidateSet` — a numpy boolean membership mask over the
+  planner's graph slice plus per-graph ``usim``/``lsim`` bound columns —
+  threaded through
+* an ordered list of :class:`PipelineStage` objects
+  (:class:`StructuralFilterStage`, :class:`PmiPruningStage`,
+  :class:`VerificationStage`), each with a vectorized
+  ``run(candidates, ctx, stage_stats)`` and per-stage
+  :class:`~repro.core.results.StageStatistics`, driven by
+* a :class:`QueryPipeline` built once per planner, with all per-query state
+  in a :class:`PipelineContext`.
+
+Two query modes share the stages through a mutable :class:`ThresholdState`:
+
+* **threshold (T-PS)** — the probability floor is the fixed query ``ε``;
+  stage behaviour (and answers) are identical to the pre-pipeline planner.
+* **top_k** — the floor starts at the k-th largest PMI lower bound among
+  the surviving candidates (at least k graphs have SSP above it, so nothing
+  provably below can rank) and *tightens* as verified answers fill a
+  k-sized heap; verification visits candidates in descending ``usim`` order
+  so later candidates prune against the running k-th-best probability.
+
+**Cross-shard top-k merge.**  A shard cannot see the global floor, so shard
+executions run in *partial* mode: the floor stays at the shard-local seed
+(never tightened by estimates), and the shard ships a :class:`TopKPartial` —
+the ``(graph id, usim, lsim)`` table of every candidate its PMI stage
+examined plus the verified estimate of every candidate above its local
+seed.  :func:`merge_top_k_partials` then **replays** the sequential
+verification loop over the concatenated tables: same global seed (the lsim
+multiset is the same), same ``(-usim, graph_id)`` visit order, same
+tightening, pulling each offered estimate from the shipped values.  Because
+every estimate derives from ``(root, VERIFY_STREAM, global graph id)``
+(:func:`repro.utils.rng.derive_rng` — the PR 2 scheme), a graph's estimate
+is identical no matter which process verified it, and the shard-local seed
+is never above the global seed (a k-th largest over a subset cannot exceed
+the superset's), so every estimate the replay asks for was shipped.  The
+replay therefore *is* the sequential loop: merged answers are byte-identical
+to the sequential planner's for any shard count and any worker count, for
+stochastic and exact verification alike.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.results import (
+    QueryAnswer,
+    QueryResult,
+    QueryStatistics,
+    StageStatistics,
+)
+from repro.utils.rng import derive_rng
+from repro.utils.timer import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.planner import QueryPlan, QueryPlanner
+
+# Stage tags for the per-graph RNG stream derivation.  Every stochastic
+# sub-task derives its generator as derive_rng(root, STAGE, global_graph_id),
+# so the streams a graph consumes depend only on (root, stage, graph id) —
+# never on how many other candidates ran before it in this process.  That is
+# what lets a sharded executor reproduce the sequential planner bit-for-bit.
+PRUNE_STREAM = 1
+VERIFY_STREAM = 2
+
+THRESHOLD_MODE = "threshold"
+TOP_K_MODE = "top_k"
+
+
+class CandidateSet:
+    """The explicit candidate state threaded through the pipeline stages.
+
+    ``mask[i]`` is True while local graph ``i`` is still in play; ``usim`` /
+    ``lsim`` carry the per-graph SSP bound columns once the PMI stage has
+    filled them (``1.0`` / ``0.0`` — the vacuous bounds — before that, and
+    for graphs whose bounds were never computed).
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.mask = np.ones(size, dtype=bool)
+        self.usim = np.ones(size, dtype=np.float64)
+        self.lsim = np.zeros(size, dtype=np.float64)
+
+    @property
+    def active_count(self) -> int:
+        return int(np.count_nonzero(self.mask))
+
+    def active_ids(self) -> np.ndarray:
+        """Active local graph ids, ascending."""
+        return np.flatnonzero(self.mask)
+
+    def keep_only(self, ids) -> None:
+        """Narrow the active set to (a subset of) ``ids``."""
+        keep = np.zeros(self.size, dtype=bool)
+        keep[ids] = True
+        self.mask &= keep
+
+    def deactivate(self, ids) -> None:
+        self.mask[ids] = False
+
+    def record_bounds(self, ids, usim, lsim) -> None:
+        """Fill the bound columns for ``ids`` (index-aligned arrays)."""
+        self.usim[ids] = usim
+        self.lsim[ids] = lsim
+
+
+@dataclass
+class ThresholdState:
+    """The mutable probability floor the stages prune against.
+
+    In threshold mode the floor is the query's fixed ``ε``.  In top-k mode
+    it starts at 0, is seeded with the k-th largest PMI lower bound
+    (:meth:`seed_floor`), and — when ``tighten`` is set — rises to the
+    running k-th best verified probability as :meth:`offer` fills the heap.
+    Shard-local (partial) executions keep ``tighten`` off: their floor must
+    stay at the seed so the cross-shard replay can reconstruct the
+    sequential skip pattern (see the module docstring).
+    """
+
+    mode: str = THRESHOLD_MODE
+    floor: float = 0.0
+    k: int | None = None
+    tighten: bool = False
+    _heap: list = field(default_factory=list, repr=False)
+
+    @classmethod
+    def fixed(cls, probability_threshold: float) -> "ThresholdState":
+        """The threshold-mode state: a floor that never moves."""
+        return cls(mode=THRESHOLD_MODE, floor=probability_threshold)
+
+    @classmethod
+    def for_top_k(cls, k: int, tighten: bool = True) -> "ThresholdState":
+        return cls(mode=TOP_K_MODE, floor=0.0, k=k, tighten=tighten)
+
+    @property
+    def is_top_k(self) -> bool:
+        return self.mode == TOP_K_MODE
+
+    def admits(self, upper_bound: float) -> bool:
+        """Can a graph with this SSP upper bound still enter the answer set?"""
+        return upper_bound >= self.floor
+
+    def seed_floor(self, lower_bounds) -> None:
+        """Tighten to the k-th largest lower bound (top-k mode only).
+
+        At least ``k`` graphs have SSP at or above their own lower bound, so
+        any graph whose *upper* bound is strictly below the k-th largest
+        lower bound is provably outside the top k.
+        """
+        if self.k is None:
+            return
+        values = np.asarray(lower_bounds, dtype=np.float64)
+        if values.size < self.k:
+            return
+        kth = float(np.partition(values, -self.k)[-self.k])
+        if kth > self.floor:
+            self.floor = kth
+
+    def offer(self, answer: QueryAnswer) -> bool:
+        """Record a verified answer; True when it (currently) ranks top-k.
+
+        The heap is keyed by ``(probability, -graph_id)`` so its minimum is
+        the answer the full ordering ``(-probability, graph_id)`` ranks
+        worst: ties at the k-th place resolve to the smaller graph id,
+        exactly as the final sort does.  Zero-probability graphs are never
+        answers.
+        """
+        if self.k is None:
+            raise ValueError("offer() is only meaningful in top-k mode")
+        if answer.probability <= 0.0:
+            return False
+        entry = (answer.probability, -answer.graph_id, answer)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            if len(self._heap) == self.k:
+                self._tighten_to_kth_best()
+            return True
+        if entry[:2] <= self._heap[0][:2]:
+            return False
+        heapq.heapreplace(self._heap, entry)
+        self._tighten_to_kth_best()
+        return True
+
+    def _tighten_to_kth_best(self) -> None:
+        if self.tighten and self._heap[0][0] > self.floor:
+            self.floor = self._heap[0][0]
+
+    @property
+    def retained(self) -> int:
+        """How many answers currently rank top-k (the heap's fill level)."""
+        return len(self._heap)
+
+    def ranked(self) -> list[QueryAnswer]:
+        """Heap contents in final answer order: ``(-probability, graph_id)``."""
+        return [
+            entry[2]
+            for entry in sorted(self._heap, key=lambda e: (-e[0], -e[1]))
+        ]
+
+
+@dataclass
+class TopKPartial:
+    """One shard's contribution to a cross-shard top-k merge.
+
+    ``candidate_ids``/``usim``/``lsim`` cover every candidate the shard's
+    PMI stage examined (global ids); ``estimates`` holds the verified SSP of
+    every candidate at or above the shard-local seed floor — a superset of
+    what the sequential loop verifies, which is what lets
+    :func:`merge_top_k_partials` replay that loop exactly.
+    """
+
+    candidate_ids: np.ndarray
+    usim: np.ndarray
+    lsim: np.ndarray
+    estimates: dict[int, float]
+    names: dict[int, str | None]
+    statistics: QueryStatistics
+
+
+@dataclass
+class PipelineContext:
+    """Everything one query execution threads through the stages."""
+
+    plan: "QueryPlan"
+    root: int
+    state: ThresholdState
+    result: QueryResult
+    partial: TopKPartial | None = None
+
+    @property
+    def gather_partial(self) -> bool:
+        return self.partial is not None
+
+
+class PipelineStage:
+    """One composable step of the candidate pipeline.
+
+    ``run`` narrows (never widens) the candidate set, may append answers to
+    ``ctx.result``, and records its pruned/accepted/passed counts on the
+    provided :class:`StageStatistics` (``examined`` and ``seconds`` are
+    filled in by the driving :class:`QueryPipeline`).  ``legacy_field``
+    names the pre-pipeline ``QueryStatistics`` wall-time field this stage
+    reports into, keeping the paper's three-phase accounting alive for
+    existing consumers.
+    """
+
+    name = "stage"
+    legacy_field: str | None = None
+
+    def run(
+        self, candidates: CandidateSet, ctx: PipelineContext, stage_stats: StageStatistics
+    ) -> None:
+        raise NotImplementedError
+
+
+class StructuralFilterStage(PipelineStage):
+    """Stage 1 (Theorem 1): discard graphs whose skeleton cannot match."""
+
+    name = "structural_filter"
+    legacy_field = "structural_seconds"
+
+    def __init__(self, planner: "QueryPlanner") -> None:
+        self.planner = planner
+
+    def run(self, candidates, ctx, stage_stats):
+        stats = ctx.result.statistics
+        if not ctx.plan.config.use_structural_pruning:
+            stats.structural_candidates = candidates.active_count
+            stage_stats.passed = candidates.active_count
+            return
+        keep = self.planner.structural_filter.filter_mask(
+            ctx.plan.query, ctx.plan.distance_threshold, active=candidates.mask
+        )
+        candidates.mask &= keep
+        passed = candidates.active_count
+        stats.structural_candidates = passed
+        stage_stats.pruned = stage_stats.examined - passed
+        stage_stats.passed = passed
+
+
+class PmiPruningStage(PipelineStage):
+    """Stage 2 (Theorems 3 & 4): SSP bounds from the PMI's SIP intervals.
+
+    Threshold mode applies Pruning 1 (``usim < ε`` ⇒ discard) and Pruning 2
+    (``lsim ≥ ε`` ⇒ answer without verification).  Top-k mode records the
+    bound columns, seeds the floor with the k-th largest ``lsim``, and
+    discards candidates whose ``usim`` falls below that seed.
+    """
+
+    name = "pmi_pruning"
+    legacy_field = "probabilistic_seconds"
+
+    def __init__(self, planner: "QueryPlanner") -> None:
+        self.planner = planner
+
+    def run(self, candidates, ctx, stage_stats):
+        plan = ctx.plan
+        stats = ctx.result.statistics
+        active = candidates.active_ids()
+        if not plan.config.use_probabilistic_pruning:
+            stats.probabilistic_candidates = len(active)
+            stage_stats.passed = len(active)
+            self._record_partial(candidates, ctx, active)
+            return
+        planner = self.planner
+        pruner = planner._pruner_for(plan)
+        bounds_list = [
+            pruner.compute_bounds_from_row(
+                plan.relaxed_queries,
+                row,
+                plan.containment,
+                rng=derive_rng(
+                    ctx.root, PRUNE_STREAM, planner.graph_id_offset + row.graph_id
+                ),
+            )
+            for row in planner.pmi.rows(active)
+        ]
+        candidates.record_bounds(
+            active,
+            np.array([bounds.usim for bounds in bounds_list], dtype=np.float64),
+            np.array([bounds.lsim for bounds in bounds_list], dtype=np.float64),
+        )
+        self._record_partial(candidates, ctx, active)
+        if ctx.state.is_top_k:
+            self._run_top_k(candidates, ctx, active, stage_stats)
+        else:
+            self._run_threshold(candidates, ctx, active, bounds_list, pruner, stage_stats)
+
+    # ------------------------------------------------------------------
+    # mode-specific decisions
+    # ------------------------------------------------------------------
+    def _run_threshold(self, candidates, ctx, active, bounds_list, pruner, stage_stats):
+        stats = ctx.result.statistics
+        planner = self.planner
+        pruned_mask, accepted_mask = pruner.decide_batch(bounds_list, ctx.state.floor)
+        for index in np.flatnonzero(accepted_mask):
+            graph_id = int(active[index])
+            ctx.result.answers.append(
+                QueryAnswer(
+                    graph_id=planner.graph_id_offset + graph_id,
+                    graph_name=planner.graphs[graph_id].name,
+                    probability=bounds_list[index].lsim,
+                    decided_by="lower_bound",
+                )
+            )
+        candidates.deactivate(active[pruned_mask | accepted_mask])
+        stats.pruned_by_upper_bound = int(pruned_mask.sum())
+        stats.accepted_by_lower_bound = int(accepted_mask.sum())
+        stats.probabilistic_candidates = len(active) - stats.pruned_by_upper_bound
+        stage_stats.pruned = stats.pruned_by_upper_bound
+        stage_stats.accepted = stats.accepted_by_lower_bound
+        stage_stats.passed = candidates.active_count
+
+    def _run_top_k(self, candidates, ctx, active, stage_stats):
+        stats = ctx.result.statistics
+        ctx.state.seed_floor(candidates.lsim[active])
+        below_seed = candidates.usim[active] < ctx.state.floor
+        candidates.deactivate(active[below_seed])
+        stats.pruned_by_upper_bound = int(below_seed.sum())
+        stats.probabilistic_candidates = len(active) - stats.pruned_by_upper_bound
+        stage_stats.pruned = stats.pruned_by_upper_bound
+        stage_stats.passed = candidates.active_count
+
+    def _record_partial(self, candidates, ctx, active) -> None:
+        """Ship the examined (id, usim, lsim) table for the cross-shard replay."""
+        if not ctx.gather_partial:
+            return
+        partial = ctx.partial
+        partial.candidate_ids = active + self.planner.graph_id_offset
+        partial.usim = candidates.usim[active].copy()
+        partial.lsim = candidates.lsim[active].copy()
+
+
+class VerificationStage(PipelineStage):
+    """Stage 3 (Section 5): compute the SSP of every surviving candidate.
+
+    Threshold mode visits candidates in id order (each graph's estimate is
+    order-independent anyway, thanks to its private RNG stream) and keeps
+    those at or above ``ε``.  Top-k mode visits in descending ``usim`` order
+    so each verified answer tightens the floor against which later — lower
+    upper bound — candidates are skipped.
+    """
+
+    name = "verification"
+    legacy_field = "verification_seconds"
+
+    def __init__(self, planner: "QueryPlanner") -> None:
+        self.planner = planner
+
+    def run(self, candidates, ctx, stage_stats):
+        plan = ctx.plan
+        stats = ctx.result.statistics
+        planner = self.planner
+        verifier = planner._verifier_for(plan)
+        active = candidates.active_ids()
+        if ctx.state.is_top_k:
+            # descending usim, ascending graph id — the tie-break keeps the
+            # visit order (and thus the floor trajectory) a total order
+            order = active[np.lexsort((active, -candidates.usim[active]))]
+        else:
+            order = active
+        answers = 0
+        for local_id in order:
+            local_id = int(local_id)
+            global_id = planner.graph_id_offset + local_id
+            if ctx.state.is_top_k and not ctx.state.admits(
+                float(candidates.usim[local_id])
+            ):
+                stage_stats.pruned += 1
+                continue
+            stats.verified += 1
+            verifier.rng = derive_rng(ctx.root, VERIFY_STREAM, global_id)
+            probability = verifier.subgraph_similarity_probability(
+                plan.query,
+                planner.graphs[local_id],
+                plan.distance_threshold,
+                relaxed_queries=plan.relaxed_queries,
+            )
+            if ctx.gather_partial:
+                ctx.partial.estimates[global_id] = probability
+                ctx.partial.names[global_id] = planner.graphs[local_id].name
+                continue
+            answer = QueryAnswer(
+                graph_id=global_id,
+                graph_name=planner.graphs[local_id].name,
+                probability=probability,
+                decided_by="verification",
+            )
+            if ctx.state.is_top_k:
+                ctx.state.offer(answer)
+            elif probability >= ctx.state.floor:
+                ctx.result.answers.append(answer)
+                answers += 1
+        if ctx.state.is_top_k and not ctx.gather_partial:
+            # offers retained mid-loop may be displaced later; the heap's
+            # final fill level is the stage's true emitted-answer count
+            answers = ctx.state.retained
+        stage_stats.accepted = answers
+        stage_stats.passed = answers
+
+
+class QueryPipeline:
+    """Drives an ordered stage list over one query's candidate set."""
+
+    def __init__(self, stages: list[PipelineStage]) -> None:
+        if not stages:
+            raise ValueError("a query pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    def run(self, candidates: CandidateSet, ctx: PipelineContext) -> QueryResult:
+        result = ctx.result
+        stats = result.statistics
+        stats.database_size = candidates.size
+        stats.relaxed_query_count = len(ctx.plan.relaxed_queries)
+        total_timer = Timer()
+        with total_timer:
+            for stage in self.stages:
+                stage_stats = StageStatistics(
+                    stage=stage.name, examined=candidates.active_count
+                )
+                timer = Timer()
+                with timer:
+                    stage.run(candidates, ctx, stage_stats)
+                stage_stats.seconds = timer.elapsed
+                if stage.legacy_field is not None:
+                    setattr(stats, stage.legacy_field, timer.elapsed)
+                stats.stages.append(stage_stats)
+            if ctx.state.is_top_k and not ctx.gather_partial:
+                result.answers.extend(ctx.state.ranked())
+            else:
+                result.answers.sort(key=lambda a: (-a.probability, a.graph_id))
+        stats.total_seconds = total_timer.elapsed
+        stats.answers = len(result.answers)
+        return result
+
+
+def build_default_pipeline(planner: "QueryPlanner") -> QueryPipeline:
+    """The paper's three-stage cascade over one planner's graph slice."""
+    return QueryPipeline(
+        [
+            StructuralFilterStage(planner),
+            PmiPruningStage(planner),
+            VerificationStage(planner),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# cross-shard top-k merge
+# ----------------------------------------------------------------------
+def replay_top_k(
+    candidate_ids: np.ndarray,
+    usim: np.ndarray,
+    lsim: np.ndarray,
+    estimates: dict[int, float],
+    names: dict[int, str | None],
+    k: int,
+) -> tuple[list[QueryAnswer], int]:
+    """Replay the sequential top-k verification loop over known estimates.
+
+    Returns ``(answers, replayed_verified)`` where ``replayed_verified`` is
+    the number of candidates the *sequential* planner would have verified —
+    the shards' actual (larger) verification counts live in their own
+    statistics.
+    """
+    state = ThresholdState.for_top_k(k)
+    state.seed_floor(lsim)
+    above_seed = usim >= state.floor
+    ids = candidate_ids[above_seed]
+    upper = usim[above_seed]
+    order = np.lexsort((ids, -upper))
+    replayed = 0
+    for index in order:
+        graph_id = int(ids[index])
+        if not state.admits(float(upper[index])):
+            continue
+        replayed += 1
+        try:
+            probability = estimates[graph_id]
+        except KeyError:  # pragma: no cover - violates the shipped-superset invariant
+            raise ValueError(
+                f"top-k merge is missing the verified estimate of graph {graph_id}; "
+                "shard partials must cover every candidate at or above their "
+                "local seed floor"
+            ) from None
+        if probability > 0.0:
+            state.offer(
+                QueryAnswer(
+                    graph_id=graph_id,
+                    graph_name=names.get(graph_id),
+                    probability=probability,
+                    decided_by="verification",
+                )
+            )
+    return state.ranked(), replayed
+
+
+def merge_top_k_partials(parts: list[TopKPartial], k: int) -> QueryResult:
+    """Combine per-shard partials of one top-k query into the final result.
+
+    Answers come from :func:`replay_top_k` over the concatenated candidate
+    tables — provably the sequential planner's answer list (module
+    docstring) — while the statistics merge the shards' *actual* work via
+    :meth:`QueryStatistics.merge` (shard floors are laxer than the global
+    one, so the summed ``verified`` counter legitimately exceeds the
+    sequential planner's).
+    """
+    if not parts:
+        raise ValueError("cannot merge an empty list of top-k partials")
+    candidate_ids = np.concatenate([part.candidate_ids for part in parts])
+    usim = np.concatenate([part.usim for part in parts])
+    lsim = np.concatenate([part.lsim for part in parts])
+    estimates: dict[int, float] = {}
+    names: dict[int, str | None] = {}
+    for part in parts:
+        estimates.update(part.estimates)
+        names.update(part.names)
+    answers, _ = replay_top_k(candidate_ids, usim, lsim, estimates, names, k)
+    result = QueryResult(answers=answers)
+    result.statistics = QueryStatistics.merge(part.statistics for part in parts)
+    result.statistics.answers = len(answers)
+    return result

@@ -7,25 +7,41 @@ the feature-vs-relaxed-query containment relations once *per candidate
 graph*.  :class:`QueryPlanner` splits that work by lifetime:
 
 * **per database** (planner construction): the structural filter over the
-  skeletons, the pruner over the PMI's features, the default verifier;
-* **per query** (:meth:`plan`): query relaxation (Lemma 1) and one shared
-  containment pass (one VF2 round per feature);
-* **per candidate** (:meth:`execute_plan`): columnar PMI row reads and the
-  bound computations, with the final pruned/accepted partition decided in a
-  single vectorized array pass.
+  skeletons, the pruner over the PMI's features, the default verifier, and
+  the staged candidate pipeline itself
+  (:func:`repro.core.pipeline.build_default_pipeline`);
+* **per query** (:meth:`plan` / :meth:`plan_top_k`): query relaxation
+  (Lemma 1) and one shared containment pass (one VF2 round per feature);
+* **per candidate** (:meth:`execute_plan`): the pipeline stages — columnar
+  PMI row reads, vectorized pruning decisions, verification.
 
 ``ProbabilisticGraphDatabase.build_index()`` constructs the planner once;
-``query()`` is a thin ``plan`` + ``execute_plan`` and ``query_many()``
-amortizes the per-database setup across a whole workload.
+``query()``/``query_top_k()`` are thin plan executions and ``query_many()``
+batches a workload (identical answers to sequential queries).
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.pipeline import (
+    PRUNE_STREAM,
+    VERIFY_STREAM,
+    CandidateSet,
+    PipelineContext,
+    QueryPipeline,
+    THRESHOLD_MODE,
+    TOP_K_MODE,
+    ThresholdState,
+    TopKPartial,
+    build_default_pipeline,
+)
 from repro.core.pruning import FeatureContainment, ProbabilisticPruner
 from repro.core.relaxation import relax_query
-from repro.core.results import QueryAnswer, QueryResult, QueryStatistics
+from repro.core.results import QueryResult, QueryStatistics
 from repro.core.verification import Verifier
 from repro.exceptions import QueryError
 from repro.graphs.labeled_graph import LabeledGraph
@@ -33,30 +49,23 @@ from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.index import ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
 from repro.structural.similarity_filter import StructuralFilter
-from repro.utils.rng import RandomLike, derive_rng, rng_root
-from repro.utils.timer import Timer
+from repro.utils.rng import RandomLike, rng_root
 
-# Stage tags for the per-graph RNG stream derivation.  Every stochastic
-# sub-task derives its generator as derive_rng(root, STAGE, global_graph_id),
-# so the streams a graph consumes depend only on (root, stage, graph id) —
-# never on how many other candidates ran before it in this process.  That is
-# what lets a sharded executor reproduce the sequential planner bit-for-bit.
-PRUNE_STREAM = 1
-VERIFY_STREAM = 2
+__all__ = [
+    "QueryPlan",
+    "QueryPlanner",
+    "validate_query",
+    "validate_top_k_query",
+    "PRUNE_STREAM",
+    "VERIFY_STREAM",
+]
 
 
-def validate_query(
-    query_graph: LabeledGraph, probability_threshold: float, distance_threshold: int
-) -> None:
-    """Reject malformed T-PS queries before any pipeline work starts."""
+def _validate_query_structure(query_graph: LabeledGraph, distance_threshold: int) -> None:
     if query_graph.num_edges == 0:
         raise QueryError("query graph must contain at least one edge")
     if not query_graph.is_connected():
         raise QueryError("query graph must be connected")
-    if not 0.0 < probability_threshold <= 1.0:
-        raise QueryError(
-            f"probability threshold must be in (0, 1], got {probability_threshold!r}"
-        )
     if distance_threshold < 0:
         raise QueryError("distance threshold must be >= 0")
     if distance_threshold >= query_graph.num_edges:
@@ -65,13 +74,47 @@ def validate_query(
         )
 
 
+def validate_query(
+    query_graph: LabeledGraph, probability_threshold: float, distance_threshold: int
+) -> None:
+    """Reject malformed T-PS queries before any pipeline work starts."""
+    _validate_query_structure(query_graph, distance_threshold)
+    if not 0.0 < probability_threshold <= 1.0:
+        raise QueryError(
+            f"probability threshold must be in (0, 1], got {probability_threshold!r}"
+        )
+
+
+def validate_top_k_query(
+    query_graph: LabeledGraph, k: int, distance_threshold: int
+) -> int:
+    """Reject malformed top-k queries; return ``k`` coerced to a plain int.
+
+    Any integer-like ``k`` (``int``, ``numpy.int64``, …) is accepted via
+    ``operator.index``; bools and non-integers are rejected.
+    """
+    _validate_query_structure(query_graph, distance_threshold)
+    if isinstance(k, bool):
+        raise QueryError(f"k must be an integer, got {k!r}")
+    try:
+        k = operator.index(k)
+    except TypeError:
+        raise QueryError(f"k must be an integer, got {k!r}") from None
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k!r}")
+    return k
+
+
 @dataclass
 class QueryPlan:
     """Everything derivable from (query, thresholds, config) alone.
 
     The plan is reusable: executing it twice (or against a reloaded PMI)
     yields the same candidate partition, so workloads can relax and prepare
-    once and execute many times.
+    once and execute many times.  ``mode`` selects how the pipeline's
+    :class:`~repro.core.pipeline.ThresholdState` behaves: ``"threshold"``
+    (fixed floor ``probability_threshold``) or ``"top_k"`` (floor tightens
+    toward the running ``k``-th best verified probability).
     """
 
     query: LabeledGraph
@@ -80,10 +123,12 @@ class QueryPlan:
     config: "SearchConfig"
     relaxed_queries: list[LabeledGraph] = field(default_factory=list)
     containment: dict[int, FeatureContainment] = field(default_factory=dict)
+    mode: str = THRESHOLD_MODE
+    k: int | None = None
 
 
 class QueryPlanner:
-    """Owns the three pipeline stages for one indexed database."""
+    """Owns the staged candidate pipeline for one indexed database (or shard)."""
 
     def __init__(
         self,
@@ -104,6 +149,7 @@ class QueryPlanner:
         self.structural_filter = StructuralFilter(structural_index, self.skeletons)
         self.pruner = ProbabilisticPruner(pmi.features)
         self._default_verifier: Verifier | None = None
+        self.pipeline: QueryPipeline = build_default_pipeline(self)
 
     def _pruner_for(self, plan: QueryPlan) -> ProbabilisticPruner:
         """The planner-owned pruner, rebuilt only when the config changes."""
@@ -124,9 +170,39 @@ class QueryPlanner:
         config: "SearchConfig | None" = None,
     ) -> QueryPlan:
         """Relax the query and precompute the shared containment relations."""
+        validate_query(query, probability_threshold, distance_threshold)
+        return self._prepare_plan(
+            query, probability_threshold, distance_threshold, config
+        )
+
+    def plan_top_k(
+        self,
+        query: LabeledGraph,
+        k: int,
+        distance_threshold: int,
+        config: "SearchConfig | None" = None,
+    ) -> QueryPlan:
+        """A reusable plan for a top-k subgraph similarity query.
+
+        The plan's probability floor starts at zero; the pipeline's
+        :class:`~repro.core.pipeline.ThresholdState` supplies the dynamic
+        floor at execution time.
+        """
+        k = validate_top_k_query(query, k, distance_threshold)
+        plan = self._prepare_plan(query, 0.0, distance_threshold, config)
+        plan.mode = TOP_K_MODE
+        plan.k = k
+        return plan
+
+    def _prepare_plan(
+        self,
+        query: LabeledGraph,
+        probability_threshold: float,
+        distance_threshold: int,
+        config: "SearchConfig | None",
+    ) -> QueryPlan:
         from repro.core.search_engine import SearchConfig
 
-        validate_query(query, probability_threshold, distance_threshold)
         cfg = config or SearchConfig()
         relaxed = relax_query(query, distance_threshold, cfg.relaxation)
         containment = (
@@ -152,7 +228,7 @@ class QueryPlanner:
         config: "SearchConfig | None" = None,
         rng: RandomLike = None,
     ) -> QueryResult:
-        """Plan and execute one query."""
+        """Plan and execute one threshold (T-PS) query."""
         return self.execute_plan(
             self.plan(query, probability_threshold, distance_threshold, config), rng=rng
         )
@@ -181,8 +257,40 @@ class QueryPlanner:
             for query in queries
         ]
 
+    def execute_top_k(
+        self,
+        query: LabeledGraph,
+        k: int,
+        distance_threshold: int,
+        config: "SearchConfig | None" = None,
+        rng: RandomLike = None,
+    ) -> QueryResult:
+        """The k most probable subgraph-similar graphs, best first.
+
+        Ties resolve to the smaller graph id; graphs with zero SSP are never
+        answers, so fewer than ``k`` answers may return.  The probability
+        floor tightens as verified answers fill the k-sized heap, so
+        candidates are verified in descending PMI upper-bound order and late
+        candidates prune against the running k-th best.
+        """
+        return self.execute_plan(self.plan_top_k(query, k, distance_threshold, config), rng=rng)
+
+    def execute_top_k_many(
+        self,
+        queries: list[LabeledGraph],
+        k: int,
+        distance_threshold: int,
+        config: "SearchConfig | None" = None,
+        rng: RandomLike = None,
+    ) -> list[QueryResult]:
+        """A top-k workload; ``rng`` semantics match :meth:`execute_many`."""
+        return [
+            self.execute_top_k(query, k, distance_threshold, config, rng=rng)
+            for query in queries
+        ]
+
     def execute_plan(self, plan: QueryPlan, rng: RandomLike = None) -> QueryResult:
-        """Run the three pipeline stages of Section 1.2 for one plan.
+        """Run the staged candidate pipeline for one plan.
 
         The ``rng`` argument is collapsed to a 64-bit *root* and every
         stochastic per-candidate task (QP rounding in pruning, Karp–Luby
@@ -192,123 +300,60 @@ class QueryPlanner:
         partitioning — a sharded executor passing the same root reproduces
         this method's answers exactly.
         """
-        root = rng_root(rng)
-        result = QueryResult()
-        stats = result.statistics
-        stats.database_size = len(self.graphs)
-        total_timer = Timer()
-        with total_timer:
-            stats.relaxed_query_count = len(plan.relaxed_queries)
-            candidate_ids = self._structural_stage(plan, stats)
-            candidate_ids, accepted = self._probabilistic_stage(
-                plan, candidate_ids, stats, root
-            )
-            for graph_id, lower_bound in accepted:
-                result.answers.append(
-                    QueryAnswer(
-                        graph_id=self.graph_id_offset + graph_id,
-                        graph_name=self.graphs[graph_id].name,
-                        probability=lower_bound,
-                        decided_by="lower_bound",
-                    )
-                )
-            self._verification_stage(plan, candidate_ids, stats, result, root)
-        stats.total_seconds = total_timer.elapsed
-        stats.answers = len(result.answers)
-        result.answers.sort(key=lambda a: (-a.probability, a.graph_id))
-        return result
+        ctx = PipelineContext(
+            plan=plan,
+            root=rng_root(rng),
+            state=self._state_for(plan),
+            result=QueryResult(),
+        )
+        return self.pipeline.run(CandidateSet(len(self.graphs)), ctx)
+
+    def execute_top_k_partial(self, plan: QueryPlan, rng: RandomLike = None) -> TopKPartial:
+        """Run a top-k plan in shard-partial mode (see ``core.pipeline``).
+
+        The floor stays at the shard-local lsim seed (no estimate-driven
+        tightening), and the returned :class:`TopKPartial` carries the
+        examined candidate/bound table plus every verified estimate —
+        everything :func:`repro.core.pipeline.merge_top_k_partials` needs to
+        replay the sequential loop exactly.
+        """
+        if plan.mode != TOP_K_MODE or plan.k is None:
+            raise QueryError("execute_top_k_partial() requires a top-k plan")
+        partial = TopKPartial(
+            candidate_ids=np.zeros(0, dtype=np.int64),
+            usim=np.zeros(0, dtype=np.float64),
+            lsim=np.zeros(0, dtype=np.float64),
+            estimates={},
+            names={},
+            statistics=QueryStatistics(),
+        )
+        ctx = PipelineContext(
+            plan=plan,
+            root=rng_root(rng),
+            state=ThresholdState.for_top_k(plan.k, tighten=False),
+            result=QueryResult(),
+            partial=partial,
+        )
+        self.pipeline.run(CandidateSet(len(self.graphs)), ctx)
+        partial.statistics = ctx.result.statistics
+        return partial
+
+    def _state_for(self, plan: QueryPlan) -> ThresholdState:
+        if plan.mode == TOP_K_MODE:
+            if plan.k is None:
+                raise QueryError("a top-k plan needs k")
+            return ThresholdState.for_top_k(plan.k)
+        return ThresholdState.fixed(plan.probability_threshold)
+
+    # `query*()` aliases for symmetry with the engine-level API
+    query = execute
+    query_many = execute_many
+    query_top_k = execute_top_k
+    query_top_k_many = execute_top_k_many
 
     # ------------------------------------------------------------------
-    # pipeline stages
+    # stage-object lifecycle
     # ------------------------------------------------------------------
-    def _structural_stage(self, plan: QueryPlan, stats: QueryStatistics) -> list[int]:
-        if not plan.config.use_structural_pruning:
-            stats.structural_candidates = len(self.graphs)
-            return list(range(len(self.graphs)))
-        outcome = self.structural_filter.filter(plan.query, plan.distance_threshold)
-        stats.structural_candidates = outcome.candidate_count
-        stats.structural_seconds = outcome.seconds
-        return outcome.candidate_ids
-
-    def _probabilistic_stage(
-        self,
-        plan: QueryPlan,
-        candidate_ids: list[int],
-        stats: QueryStatistics,
-        root: int,
-    ) -> tuple[list[int], list[tuple[int, float]]]:
-        if not plan.config.use_probabilistic_pruning:
-            stats.probabilistic_candidates = len(candidate_ids)
-            return candidate_ids, []
-        pruner = self._pruner_for(plan)
-        timer = Timer()
-        with timer:
-            bounds_list = [
-                pruner.compute_bounds_from_row(
-                    plan.relaxed_queries,
-                    self.pmi.row(graph_id),
-                    plan.containment,
-                    rng=derive_rng(root, PRUNE_STREAM, self.graph_id_offset + graph_id),
-                )
-                for graph_id in candidate_ids
-            ]
-            pruned_mask, accepted_mask = pruner.decide_batch(
-                bounds_list, plan.probability_threshold
-            )
-            remaining = [
-                graph_id
-                for graph_id, pruned, accepted_flag in zip(
-                    candidate_ids, pruned_mask, accepted_mask
-                )
-                if not pruned and not accepted_flag
-            ]
-            accepted = [
-                (graph_id, bounds.lsim)
-                for graph_id, bounds, accepted_flag in zip(
-                    candidate_ids, bounds_list, accepted_mask
-                )
-                if accepted_flag
-            ]
-        stats.pruned_by_upper_bound = int(pruned_mask.sum())
-        stats.accepted_by_lower_bound = int(accepted_mask.sum())
-        stats.probabilistic_seconds = timer.elapsed
-        stats.probabilistic_candidates = len(remaining) + len(accepted)
-        return remaining, accepted
-
-    def _verification_stage(
-        self,
-        plan: QueryPlan,
-        candidate_ids: list[int],
-        stats: QueryStatistics,
-        result: QueryResult,
-        root: int,
-    ) -> None:
-        verifier = self._verifier_for(plan)
-        timer = Timer()
-        with timer:
-            for graph_id in candidate_ids:
-                stats.verified += 1
-                verifier.rng = derive_rng(
-                    root, VERIFY_STREAM, self.graph_id_offset + graph_id
-                )
-                is_answer, probability = verifier.matches(
-                    plan.query,
-                    self.graphs[graph_id],
-                    plan.probability_threshold,
-                    plan.distance_threshold,
-                    relaxed_queries=plan.relaxed_queries,
-                )
-                if is_answer:
-                    result.answers.append(
-                        QueryAnswer(
-                            graph_id=self.graph_id_offset + graph_id,
-                            graph_name=self.graphs[graph_id].name,
-                            probability=probability,
-                            decided_by="verification",
-                        )
-                    )
-        stats.verification_seconds = timer.elapsed
-
     def _verifier_for(self, plan: QueryPlan) -> Verifier:
         """The planner-owned verifier, rebuilt only when the config changes."""
         verifier = self._default_verifier

@@ -23,8 +23,43 @@ class QueryAnswer:
 
 
 @dataclass
+class StageStatistics:
+    """Counters and wall time for one pipeline stage of one query run.
+
+    ``examined`` is the candidate-set size entering the stage; ``pruned``
+    counts candidates the stage discarded (including top-k candidates skipped
+    against the tightening probability floor); ``accepted`` counts answers the
+    stage emitted without further work (Pruning 2 accepts, verified answers);
+    ``passed`` is what the stage handed to its successor.
+    """
+
+    stage: str
+    examined: int = 0
+    pruned: int = 0
+    accepted: int = 0
+    passed: int = 0
+    seconds: float = 0.0
+
+    def counters_dict(self) -> dict:
+        """The deterministic (non-timing) fields, for serialization/parity."""
+        return {
+            "stage": self.stage,
+            "examined": self.examined,
+            "pruned": self.pruned,
+            "accepted": self.accepted,
+            "passed": self.passed,
+        }
+
+
+@dataclass
 class QueryStatistics:
-    """Per-phase counters and timings for one query run."""
+    """Per-phase counters and timings for one query run.
+
+    The legacy top-level fields mirror the paper's three-phase accounting;
+    ``stages`` carries one :class:`StageStatistics` per pipeline stage in
+    execution order, so custom pipelines report per-stage work without new
+    top-level fields.
+    """
 
     database_size: int = 0
     structural_candidates: int = 0
@@ -38,6 +73,7 @@ class QueryStatistics:
     verification_seconds: float = 0.0
     total_seconds: float = 0.0
     relaxed_query_count: int = 0
+    stages: list[StageStatistics] = field(default_factory=list)
 
     @classmethod
     def merge(cls, parts: Iterable["QueryStatistics"]) -> "QueryStatistics":
@@ -46,7 +82,11 @@ class QueryStatistics:
         Each shard runs the full pipeline over a disjoint slice of the
         database, so candidate/pruned/accepted/verified/answer counters (and
         the per-shard database sizes) sum to exactly the sequential planner's
-        counters.  Wall-clock fields take the *max* over shards — the
+        counters — both the legacy top-level fields and the per-stage
+        ``stages`` entries, which are matched positionally and must name the
+        same stage sequence in every part (a :class:`ValueError` otherwise:
+        summing counters across *different* pipelines would silently produce
+        nonsense).  Wall-clock fields take the *max* over shards — the
         critical path of a concurrent run; when shards instead run serially
         in-process (``max_workers<=1``) this understates total elapsed time,
         so treat the counters as the contract and the timings as concurrent-
@@ -54,6 +94,7 @@ class QueryStatistics:
         every shard computes it identically for the same query.
         """
         merged = cls()
+        stage_names: list[str] | None = None
         for stats in parts:
             merged.database_size += stats.database_size
             merged.structural_candidates += stats.structural_candidates
@@ -73,10 +114,30 @@ class QueryStatistics:
             merged.relaxed_query_count = max(
                 merged.relaxed_query_count, stats.relaxed_query_count
             )
+            names = [stage.stage for stage in stats.stages]
+            if stage_names is None:
+                stage_names = names
+                merged.stages = [StageStatistics(stage=name) for name in names]
+            elif names != stage_names:
+                raise ValueError(
+                    "cannot merge statistics from different pipelines: "
+                    f"stage lists {stage_names!r} and {names!r} disagree"
+                )
+            for merged_stage, stage in zip(merged.stages, stats.stages):
+                merged_stage.examined += stage.examined
+                merged_stage.pruned += stage.pruned
+                merged_stage.accepted += stage.accepted
+                merged_stage.passed += stage.passed
+                merged_stage.seconds = max(merged_stage.seconds, stage.seconds)
         return merged
 
     def as_dict(self) -> dict:
-        """Plain-dict view (benchmarks serialize this)."""
+        """Plain-dict view (benchmarks serialize this).
+
+        Per-stage wall times live under ``stage_seconds`` (suffix-matched
+        with the other timing keys) so counter-only consumers can drop every
+        ``*_seconds`` entry and keep a fully deterministic dict.
+        """
         return {
             "database_size": self.database_size,
             "structural_candidates": self.structural_candidates,
@@ -90,6 +151,10 @@ class QueryStatistics:
             "verification_seconds": round(self.verification_seconds, 6),
             "total_seconds": round(self.total_seconds, 6),
             "relaxed_query_count": self.relaxed_query_count,
+            "stage_counters": [stage.counters_dict() for stage in self.stages],
+            "stage_seconds": {
+                stage.stage: round(stage.seconds, 6) for stage in self.stages
+            },
         }
 
 
@@ -114,10 +179,13 @@ def aggregate_statistics(results: Iterable[QueryResult]) -> dict:
     """Workload-level totals over many query results (``query_many`` output).
 
     Counters and per-phase timings are summed; ``num_queries`` and the mean
-    per-query wall clock are derived.  Benchmarks serialize this alongside
+    per-query wall clock are derived.  Per-stage entries accumulate by stage
+    name (queries run under different pipelines simply contribute their own
+    stages).  Benchmarks serialize this alongside
     :meth:`QueryStatistics.as_dict`.
     """
     totals = QueryStatistics()
+    stage_totals: dict[str, StageStatistics] = {}
     num_queries = 0
     for result in results:
         stats = result.statistics
@@ -134,6 +202,14 @@ def aggregate_statistics(results: Iterable[QueryResult]) -> dict:
         totals.verification_seconds += stats.verification_seconds
         totals.total_seconds += stats.total_seconds
         totals.relaxed_query_count += stats.relaxed_query_count
+        for stage in stats.stages:
+            bucket = stage_totals.setdefault(stage.stage, StageStatistics(stage=stage.stage))
+            bucket.examined += stage.examined
+            bucket.pruned += stage.pruned
+            bucket.accepted += stage.accepted
+            bucket.passed += stage.passed
+            bucket.seconds += stage.seconds
+    totals.stages = list(stage_totals.values())
     aggregated = totals.as_dict()
     aggregated["num_queries"] = num_queries
     aggregated["mean_seconds_per_query"] = round(

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.planner import QueryPlanner, validate_query
+from repro.core.planner import QueryPlanner, validate_query, validate_top_k_query
 from repro.core.pruning import PruningConfig
 from repro.core.relaxation import RelaxationConfig
 from repro.core.results import QueryResult
@@ -228,9 +228,53 @@ class ProbabilisticGraphDatabase:
             query_graphs, probability_threshold, distance_threshold, config, rng=rng
         )
 
+    def query_top_k(
+        self,
+        query_graph: LabeledGraph,
+        k: int,
+        distance_threshold: int,
+        config: SearchConfig | None = None,
+        rng: RandomLike = None,
+    ) -> QueryResult:
+        """The ``k`` most probable subgraph-similar graphs, best first.
+
+        Runs the same staged pipeline as :meth:`query`, but instead of a
+        fixed probability threshold the floor tightens as verified answers
+        fill a k-sized heap (candidates are verified in descending PMI
+        upper-bound order).  Ties rank the smaller graph id first; graphs
+        with zero SSP are never answers, so fewer than ``k`` answers may
+        return.  Sharded engines merge per-shard partials into an answer
+        list byte-identical to the sequential one for any shard and worker
+        count.
+        """
+        self._validate_top_k(query_graph, k, distance_threshold)
+        if self.planner is None:
+            raise IndexError_("call build_index() before querying")
+        return self.planner.execute_top_k(
+            query_graph, k, distance_threshold, config, rng=rng
+        )
+
+    def query_top_k_many(
+        self,
+        query_graphs: list[LabeledGraph],
+        k: int,
+        distance_threshold: int,
+        config: SearchConfig | None = None,
+        rng: RandomLike = None,
+    ) -> list[QueryResult]:
+        """Run a top-k workload; one :class:`QueryResult` per query, in order."""
+        if self.planner is None:
+            raise IndexError_("call build_index() before querying")
+        for query_graph in query_graphs:
+            self._validate_top_k(query_graph, k, distance_threshold)
+        return self.planner.execute_top_k_many(
+            query_graphs, k, distance_threshold, config, rng=rng
+        )
+
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------
     # the planner validates again inside plan(); this up-front pass exists so
     # query_many rejects a malformed batch before any query executes
     _validate_query = staticmethod(validate_query)
+    _validate_top_k = staticmethod(validate_top_k_query)

@@ -46,6 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.pipeline import TopKPartial, merge_top_k_partials
 from repro.core.planner import QueryPlanner
 from repro.core.results import QueryResult, QueryStatistics
 from repro.exceptions import IndexError_
@@ -300,11 +301,18 @@ def _init_query_worker(shards: list[DatabaseShard]) -> None:
         _WORKER_SHARDS[shard.spec.shard_id] = shard
 
 
-def _run_shard_workload(shard_id: int, plans, roots: list[int]) -> list[QueryResult]:
+def _run_shard_workload(
+    shard_id: int, plans, roots: list[int], partial: bool = False
+) -> list[QueryResult] | list[TopKPartial]:
     planner = _WORKER_PLANNERS.get(shard_id)
     if planner is None:
         planner = _WORKER_SHARDS[shard_id].make_planner()
         _WORKER_PLANNERS[shard_id] = planner
+    if partial:
+        return [
+            planner.execute_top_k_partial(plan, rng=root)
+            for plan, root in zip(plans, roots)
+        ]
     return [planner.execute_plan(plan, rng=root) for plan, root in zip(plans, roots)]
 
 
@@ -478,31 +486,60 @@ class ShardedPlanner:
             lead.plan(query, probability_threshold, distance_threshold, config)
             for query in queries
         ]
-        workers = _resolve_workers(self.max_workers, len(self.shards))
-        if workers <= 1 or len(self.shards) == 1:
-            per_shard = self._execute_serial(plans, roots)
-        else:
-            try:
-                pool = self._ensure_executor(workers)
-                futures = [
-                    pool.submit(_run_shard_workload, shard.spec.shard_id, plans, roots)
-                    for shard in self.shards
-                ]
-                per_shard = [future.result() for future in futures]
-            except BrokenProcessPool:
-                # a killed worker poisons the whole pool; answers are
-                # deterministic either way, so finish this call in-process
-                # and let the next call build a fresh pool
-                self.close()
-                per_shard = self._execute_serial(plans, roots)
+        per_shard = self._fan_out(plans, roots, partial=False)
         return [
             merge_query_results([results[index] for results in per_shard])
             for index in range(len(queries))
         ]
 
-    # `query()` / `query_many()` for symmetry with the engine-level API
+    def execute_top_k(
+        self,
+        query: LabeledGraph,
+        k: int,
+        distance_threshold: int,
+        config=None,
+        rng: RandomLike = None,
+    ) -> QueryResult:
+        """One top-k query, fanned out over the shards and replay-merged."""
+        return self.execute_top_k_many([query], k, distance_threshold, config, rng=rng)[0]
+
+    def execute_top_k_many(
+        self,
+        queries: list[LabeledGraph],
+        k: int,
+        distance_threshold: int,
+        config=None,
+        rng: RandomLike = None,
+    ) -> list[QueryResult]:
+        """A top-k workload with the cross-shard merge invariant.
+
+        Every shard runs its pipeline in *partial* mode — the probability
+        floor stays at the shard-local lsim seed, and the shard ships its
+        examined candidate/bound table plus all verified estimates — and
+        :func:`repro.core.pipeline.merge_top_k_partials` replays the
+        sequential verification loop over the union.  Because each graph's
+        estimate derives from ``(root, VERIFY_STREAM, global graph id)``,
+        the merged answers are byte-identical to
+        :meth:`QueryPlanner.execute_top_k` on the unsharded database, for
+        any shard count and any worker count (see ``core.pipeline``).
+        """
+        if not queries:
+            return []
+        roots = [rng_root(rng) for _ in queries]
+        lead = self._planner_for(self.shards[0])
+        plans = [lead.plan_top_k(query, k, distance_threshold, config) for query in queries]
+        per_shard = self._fan_out(plans, roots, partial=True)
+        return [
+            # plans[0].k is the validated, int-coerced k
+            merge_top_k_partials([partials[index] for partials in per_shard], plans[0].k)
+            for index in range(len(queries))
+        ]
+
+    # `query*()` aliases for symmetry with the engine-level API
     query = execute
     query_many = execute_many
+    query_top_k = execute_top_k
+    query_top_k_many = execute_top_k_many
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -523,15 +560,51 @@ class ShardedPlanner:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _execute_serial(self, plans, roots: list[int]) -> list[list[QueryResult]]:
-        """All shards in-process: the pool-less (and pool-failure) path."""
-        return [
-            [
-                self._planner_for(shard).execute_plan(plan, rng=root)
-                for plan, root in zip(plans, roots)
+    def _fan_out(self, plans, roots: list[int], partial: bool) -> list[list]:
+        """One pool task per shard, each running the whole plan list.
+
+        Returns per-shard result lists, query-index aligned.  ``partial``
+        selects shard-partial top-k execution over plain plan execution.
+        """
+        workers = _resolve_workers(self.max_workers, len(self.shards))
+        if workers <= 1 or len(self.shards) == 1:
+            return self._execute_serial(plans, roots, partial)
+        try:
+            pool = self._ensure_executor(workers)
+            futures = [
+                pool.submit(
+                    _run_shard_workload, shard.spec.shard_id, plans, roots, partial
+                )
+                for shard in self.shards
             ]
-            for shard in self.shards
-        ]
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            # a killed worker poisons the whole pool; answers are
+            # deterministic either way, so finish this call in-process
+            # and let the next call build a fresh pool
+            self.close()
+            return self._execute_serial(plans, roots, partial)
+
+    def _execute_serial(self, plans, roots: list[int], partial: bool = False) -> list[list]:
+        """All shards in-process: the pool-less (and pool-failure) path."""
+        per_shard = []
+        for shard in self.shards:
+            planner = self._planner_for(shard)
+            if partial:
+                per_shard.append(
+                    [
+                        planner.execute_top_k_partial(plan, rng=root)
+                        for plan, root in zip(plans, roots)
+                    ]
+                )
+            else:
+                per_shard.append(
+                    [
+                        planner.execute_plan(plan, rng=root)
+                        for plan, root in zip(plans, roots)
+                    ]
+                )
+        return per_shard
 
     def _planner_for(self, shard: DatabaseShard) -> QueryPlanner:
         planner = self._local_planners.get(shard.spec.shard_id)

@@ -215,6 +215,15 @@ class ProbabilisticMatrixIndex:
             present=self._present[graph_id],
         )
 
+    def rows(self, graph_ids) -> list[PMIRow]:
+        """Zero-copy row views for a whole candidate batch, in input order.
+
+        Convenience over looping :meth:`row` — same per-row work, but it
+        accepts numpy id arrays directly (the pipeline's candidate sets),
+        handling the ``int()`` coercion in one place.
+        """
+        return [self.row(int(graph_id)) for graph_id in graph_ids]
+
     def _cell(self, graph_id: int, column: int, feature_id: int) -> SipBounds:
         chosen_embeddings, chosen_cuts = self._chosen.get((graph_id, feature_id), ((), ()))
         return SipBounds(

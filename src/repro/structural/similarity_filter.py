@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.isomorphism.mcs import is_subgraph_similar, signature_distance_lower_bound
 from repro.structural.feature_index import StructuralFeatureIndex
@@ -54,37 +56,38 @@ class StructuralFilter:
         result = StructuralFilterResult()
         timer = Timer()
         with timer:
-            profile = self.index.query_profile(query)
-            # filter 2 first: the Grafil feature-count deficit is one
-            # vectorized pass over the whole database
-            feature_pruned = self.index.deficit_prunable_mask(profile, distance_threshold)
-            for graph_id, skeleton in enumerate(self.skeletons):
-                if self._prunable(
-                    query, skeleton, bool(feature_pruned[graph_id]), distance_threshold
-                ):
-                    result.pruned_ids.append(graph_id)
-                else:
-                    result.candidate_ids.append(graph_id)
+            keep = self.filter_mask(query, distance_threshold)
+            result.candidate_ids = [int(gid) for gid in np.flatnonzero(keep)]
+            result.pruned_ids = [int(gid) for gid in np.flatnonzero(~keep)]
         result.seconds = timer.elapsed
         return result
 
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _prunable(
+    def filter_mask(
         self,
         query: LabeledGraph,
-        skeleton: LabeledGraph,
-        feature_count_prunable: bool,
         distance_threshold: int,
-    ) -> bool:
-        # filter 2 (precomputed, vectorized): feature-count deficit (Grafil)
-        if feature_count_prunable:
-            return True
-        # filter 1: edge-signature deficit
-        if signature_distance_lower_bound(query, skeleton) > distance_threshold:
-            return True
-        # filter 3 (optional): exact similarity check
-        if self.exact_check and not is_subgraph_similar(query, skeleton, distance_threshold):
-            return True
-        return False
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Boolean keep-mask over the database, honoring an incoming mask.
+
+        ``active`` restricts the work to a candidate subset (graphs outside
+        it come back False without being examined) — this is the pipeline
+        entry point, where an upstream stage may already have narrowed the
+        candidate set.  The Grafil feature-count deficit (filter 2) is one
+        vectorized pass over the whole index either way; the per-skeleton
+        signature/exact checks only run for active survivors.
+        """
+        profile = self.index.query_profile(query)
+        feature_pruned = self.index.deficit_prunable_mask(profile, distance_threshold)
+        keep = np.asarray(~feature_pruned, dtype=bool)
+        if active is not None:
+            keep &= np.asarray(active, dtype=bool)
+        for graph_id in np.flatnonzero(keep):
+            skeleton = self.skeletons[int(graph_id)]
+            if signature_distance_lower_bound(query, skeleton) > distance_threshold:
+                keep[graph_id] = False
+            elif self.exact_check and not is_subgraph_similar(
+                query, skeleton, distance_threshold
+            ):
+                keep[graph_id] = False
+        return keep

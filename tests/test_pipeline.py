@@ -1,0 +1,297 @@
+"""Unit tests for the staged candidate-pipeline engine (``core.pipeline``):
+candidate-set mechanics, the mutable ``ThresholdState``, per-stage
+statistics (recording and merge edge cases), pipeline composability, and
+the mask-honoring structural filter entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CandidateSet,
+    PipelineStage,
+    ProbabilisticGraphDatabase,
+    QueryAnswer,
+    QueryPipeline,
+    QueryPlanner,
+    QueryStatistics,
+    SearchConfig,
+    StageStatistics,
+    ThresholdState,
+    VerificationConfig,
+    validate_top_k_query,
+)
+from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
+from repro.exceptions import QueryError
+from repro.graphs import LabeledGraph
+from repro.pmi import BoundConfig, FeatureSelectionConfig
+
+EXACT_CONFIG = SearchConfig(verification=VerificationConfig(method="inclusion_exclusion"))
+
+
+@pytest.fixture(scope="module")
+def pipeline_database():
+    config = PPIDatasetConfig(
+        num_graphs=6,
+        num_families=2,
+        vertices_per_graph=9,
+        edges_per_graph=11,
+        motif_vertices=4,
+        motif_edges=4,
+        mean_edge_probability=0.6,
+        probability_spread=0.2,
+    )
+    return generate_ppi_database(config, rng=31)
+
+
+@pytest.fixture(scope="module")
+def indexed(pipeline_database):
+    database = ProbabilisticGraphDatabase(pipeline_database.graphs)
+    database.build_index(
+        feature_config=FeatureSelectionConfig(
+            alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=12
+        ),
+        bound_config=BoundConfig(method="exact"),
+        rng=17,
+    )
+    return database
+
+
+class TestCandidateSet:
+    def test_starts_full_with_vacuous_bounds(self):
+        candidates = CandidateSet(5)
+        assert candidates.active_count == 5
+        assert list(candidates.active_ids()) == [0, 1, 2, 3, 4]
+        assert np.all(candidates.usim == 1.0)
+        assert np.all(candidates.lsim == 0.0)
+
+    def test_keep_only_narrows_never_widens(self):
+        candidates = CandidateSet(5)
+        candidates.keep_only([1, 3])
+        assert list(candidates.active_ids()) == [1, 3]
+        # re-asking for a deactivated id must not resurrect it
+        candidates.deactivate([3])
+        candidates.keep_only([0, 1, 3])
+        assert list(candidates.active_ids()) == [1]
+
+    def test_record_bounds(self):
+        candidates = CandidateSet(4)
+        candidates.record_bounds(np.array([1, 2]), np.array([0.8, 0.6]), np.array([0.2, 0.1]))
+        assert candidates.usim[1] == 0.8 and candidates.lsim[2] == 0.1
+        assert candidates.usim[0] == 1.0 and candidates.lsim[0] == 0.0
+
+
+class TestThresholdState:
+    def test_fixed_floor_never_moves(self):
+        state = ThresholdState.fixed(0.4)
+        assert not state.is_top_k
+        assert state.admits(0.4) and not state.admits(0.39)
+
+    def test_top_k_heap_fills_then_tightens(self):
+        state = ThresholdState.for_top_k(2)
+        assert state.admits(0.01)  # floor starts at zero
+        assert state.offer(QueryAnswer(0, None, 0.5, "verification"))
+        assert state.floor == 0.0  # heap not yet full
+        assert state.offer(QueryAnswer(1, None, 0.3, "verification"))
+        assert state.floor == 0.3  # k-th best verified probability
+        assert not state.admits(0.29)
+        assert state.offer(QueryAnswer(2, None, 0.9, "verification"))
+        assert state.floor == 0.5
+        assert [a.graph_id for a in state.ranked()] == [2, 0]
+
+    def test_top_k_tie_breaks_by_smaller_graph_id(self):
+        state = ThresholdState.for_top_k(2)
+        state.offer(QueryAnswer(5, None, 0.5, "verification"))
+        state.offer(QueryAnswer(9, None, 0.5, "verification"))
+        # equal probability, smaller id than the k-th place: displaces it
+        assert state.offer(QueryAnswer(7, None, 0.5, "verification"))
+        # equal probability, larger id than the k-th place: rejected
+        assert not state.offer(QueryAnswer(10, None, 0.5, "verification"))
+        assert [a.graph_id for a in state.ranked()] == [5, 7]
+
+    def test_zero_probability_is_never_an_answer(self):
+        state = ThresholdState.for_top_k(3)
+        assert not state.offer(QueryAnswer(0, None, 0.0, "verification"))
+        assert state.ranked() == []
+
+    def test_seed_floor_uses_kth_largest_lower_bound(self):
+        state = ThresholdState.for_top_k(2)
+        state.seed_floor(np.array([0.1, 0.7, 0.4]))
+        assert state.floor == 0.4
+        state.seed_floor(np.array([0.05]))  # fewer than k values: no-op
+        assert state.floor == 0.4
+
+    def test_partial_mode_floor_stays_at_seed(self):
+        state = ThresholdState.for_top_k(1, tighten=False)
+        state.offer(QueryAnswer(0, None, 0.9, "verification"))
+        assert state.floor == 0.0
+
+    def test_offer_requires_top_k_mode(self):
+        with pytest.raises(ValueError):
+            ThresholdState.fixed(0.5).offer(QueryAnswer(0, None, 0.5, "verification"))
+
+
+class TestStageStatistics:
+    def test_threshold_query_records_three_stages(self, indexed, pipeline_database):
+        query = extract_query(pipeline_database.graphs[0].skeleton, 3, rng=5)
+        result = indexed.query(query, 0.3, 1, config=EXACT_CONFIG, rng=3)
+        stats = result.statistics
+        assert [s.stage for s in stats.stages] == [
+            "structural_filter",
+            "pmi_pruning",
+            "verification",
+        ]
+        structural, pmi, verification = stats.stages
+        assert structural.examined == len(indexed.graphs)
+        assert structural.passed == stats.structural_candidates
+        assert pmi.examined == structural.passed
+        assert pmi.pruned == stats.pruned_by_upper_bound
+        assert pmi.accepted == stats.accepted_by_lower_bound
+        assert verification.examined == pmi.passed
+        assert verification.examined == stats.verified
+        assert all(s.seconds >= 0.0 for s in stats.stages)
+        counters = stats.as_dict()["stage_counters"]
+        assert [c["stage"] for c in counters] == [s.stage for s in stats.stages]
+
+    def test_stage_accounting_is_conserved(self, indexed, pipeline_database):
+        query = extract_query(pipeline_database.graphs[1].skeleton, 3, rng=9)
+        result = indexed.query(query, 0.3, 1, config=EXACT_CONFIG, rng=3)
+        for stage in result.statistics.stages[:-1]:  # filters: examined splits up
+            assert stage.examined == stage.pruned + stage.accepted + stage.passed
+
+
+class TestStatisticsMergeStages:
+    def make_stats(self, scale: int) -> QueryStatistics:
+        stats = QueryStatistics(database_size=scale, verified=scale)
+        stats.stages = [
+            StageStatistics("structural_filter", examined=4 * scale, pruned=scale,
+                            passed=3 * scale, seconds=0.1 * scale),
+            StageStatistics("verification", examined=3 * scale, accepted=scale,
+                            passed=scale, seconds=0.2 * scale),
+        ]
+        return stats
+
+    def test_merge_sums_stage_counters_and_maxes_seconds(self):
+        merged = QueryStatistics.merge([self.make_stats(1), self.make_stats(2)])
+        assert [s.stage for s in merged.stages] == ["structural_filter", "verification"]
+        assert merged.stages[0].examined == 12
+        assert merged.stages[0].pruned == 3
+        assert merged.stages[1].accepted == 3
+        assert merged.stages[0].seconds == pytest.approx(0.2)
+        assert merged.stages[1].seconds == pytest.approx(0.4)
+
+    def test_merge_of_nothing_is_zero(self):
+        merged = QueryStatistics.merge([])
+        assert merged.stages == []
+        assert merged.as_dict()["stage_counters"] == []
+
+    def test_merge_single_part_is_identity(self):
+        part = self.make_stats(3)
+        merged = QueryStatistics.merge([part])
+        assert merged.as_dict() == part.as_dict()
+
+    def test_merge_mismatched_stage_lists_raises(self):
+        other = self.make_stats(1)
+        other.stages = other.stages[::-1]
+        with pytest.raises(ValueError, match="stage lists"):
+            QueryStatistics.merge([self.make_stats(1), other])
+        empty = QueryStatistics()
+        with pytest.raises(ValueError, match="stage lists"):
+            QueryStatistics.merge([self.make_stats(1), empty])
+
+    def test_merge_legacy_only_parts_still_works(self):
+        left = QueryStatistics(database_size=4, verified=1)
+        right = QueryStatistics(database_size=3, verified=2)
+        merged = QueryStatistics.merge([left, right])
+        assert merged.database_size == 7 and merged.verified == 3
+        assert merged.stages == []
+
+
+class TestPipelineComposability:
+    def test_planner_owns_a_default_pipeline(self, indexed):
+        planner = indexed.planner
+        assert isinstance(planner.pipeline, QueryPipeline)
+        assert [stage.name for stage in planner.pipeline.stages] == [
+            "structural_filter",
+            "pmi_pruning",
+            "verification",
+        ]
+
+    def test_custom_stage_composes(self, indexed, pipeline_database):
+        """A caller-defined stage slots into the cascade without planner edits."""
+
+        class EvenIdOnlyStage(PipelineStage):
+            name = "even_ids_only"
+
+            def run(self, candidates, ctx, stage_stats):
+                active = candidates.active_ids()
+                odd = active[active % 2 == 1]
+                candidates.deactivate(odd)
+                stage_stats.pruned = len(odd)
+                stage_stats.passed = candidates.active_count
+
+        planner = QueryPlanner(
+            indexed.graphs, indexed.pmi, indexed.structural_index
+        )
+        planner.pipeline = QueryPipeline(
+            [EvenIdOnlyStage(), *planner.pipeline.stages]
+        )
+        query = extract_query(pipeline_database.graphs[0].skeleton, 3, rng=5)
+        result = planner.execute(query, 0.1, 1, config=EXACT_CONFIG, rng=3)
+        assert all(answer.graph_id % 2 == 0 for answer in result.answers)
+        assert result.statistics.stages[0].stage == "even_ids_only"
+        baseline = indexed.query(query, 0.1, 1, config=EXACT_CONFIG, rng=3)
+        assert result.answer_ids() == {
+            gid for gid in baseline.answer_ids() if gid % 2 == 0
+        }
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPipeline([])
+
+
+class TestTopKValidation:
+    def test_bad_k_rejected(self, indexed, pipeline_database):
+        query = extract_query(pipeline_database.graphs[0].skeleton, 3, rng=5)
+        for bad_k in (0, -2, True, 1.5, "3"):
+            with pytest.raises(QueryError):
+                indexed.query_top_k(query, bad_k, 1)
+
+    def test_structure_checks_still_apply(self, indexed):
+        disconnected = LabeledGraph.from_edges(
+            {0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1, "x"), (2, 3, "x")]
+        )
+        with pytest.raises(QueryError):
+            validate_top_k_query(disconnected, 2, 1)
+
+    def test_top_k_before_index_rejected(self, pipeline_database):
+        from repro.exceptions import IndexError_
+
+        database = ProbabilisticGraphDatabase(pipeline_database.graphs)
+        query = extract_query(pipeline_database.graphs[0].skeleton, 3, rng=5)
+        with pytest.raises(IndexError_):
+            database.query_top_k(query, 2, 1)
+
+
+class TestFilterMask:
+    def test_mask_honors_incoming_active_set(self, indexed, pipeline_database):
+        query = extract_query(pipeline_database.graphs[0].skeleton, 3, rng=5)
+        structural_filter = indexed.planner.structural_filter
+        full = structural_filter.filter_mask(query, 1)
+        assert full.dtype == bool and full.shape == (len(indexed.graphs),)
+        active = np.zeros(len(indexed.graphs), dtype=bool)
+        active[:2] = True
+        restricted = structural_filter.filter_mask(query, 1, active=active)
+        assert not restricted[2:].any()
+        assert np.array_equal(restricted, full & active)
+
+    def test_filter_still_returns_id_lists(self, indexed, pipeline_database):
+        query = extract_query(pipeline_database.graphs[0].skeleton, 3, rng=5)
+        structural_filter = indexed.planner.structural_filter
+        outcome = structural_filter.filter(query, 1)
+        mask = structural_filter.filter_mask(query, 1)
+        assert outcome.candidate_ids == [int(g) for g in np.flatnonzero(mask)]
+        assert sorted(outcome.candidate_ids + outcome.pruned_ids) == list(
+            range(len(indexed.graphs))
+        )

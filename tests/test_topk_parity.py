@@ -1,0 +1,254 @@
+"""Top-k parity harness.
+
+Two contracts under test:
+
+1. **Reference parity** — pipeline ``query_top_k`` answers (graph ids *and*
+   probabilities) equal the index-free ``ExactScanBaseline.top_k`` reference,
+   which verifies every graph and ranks by ``(-probability, graph_id)``.
+   Randomized databases, K shards ∈ {1, 2, 4}, k ∈ {1, 3, len(db)}.  Exact
+   SIP bounds + exact verification keep the pruning provably sound, so the
+   two sides must agree exactly.
+2. **Cross-shard merge invariant** — sharded top-k is byte-identical to the
+   sequential planner for any shard/worker count, *including stochastic
+   (sampling) verification*: the merge replays the sequential loop over
+   per-graph-seeded estimates, so it never depends on which process verified
+   what.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.baselines.exact_scan import ExactScanBaseline, ExactScanConfig
+from repro.core import (
+    ProbabilisticGraphDatabase,
+    SearchConfig,
+    VerificationConfig,
+)
+from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
+from repro.pmi import BoundConfig, FeatureSelectionConfig
+
+DISTANCE_THRESHOLD = 1
+
+FEATURE_CONFIG = FeatureSelectionConfig(
+    alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=10
+)
+EXACT_SEARCH_CONFIG = SearchConfig(
+    verification=VerificationConfig(method="inclusion_exclusion")
+)
+EXACT_SCAN_CONFIG = ExactScanConfig(
+    method="inclusion_exclusion",
+    verification=VerificationConfig(method="inclusion_exclusion"),
+)
+# stochastic verification on purpose: the merge invariant must hold for the
+# sampled pipeline too, not just the exact one
+SAMPLING_SEARCH_CONFIG = SearchConfig(
+    verification=VerificationConfig(method="sampling", num_samples=80)
+)
+
+
+def random_database(seed: int, num_graphs: int):
+    config = PPIDatasetConfig(
+        num_graphs=num_graphs,
+        num_families=2,
+        vertices_per_graph=8,
+        edges_per_graph=9,
+        motif_vertices=3,
+        motif_edges=3,
+        mean_edge_probability=0.6,
+        probability_spread=0.2,
+    )
+    return generate_ppi_database(config, rng=seed)
+
+
+def random_workload(database, seed: int, num_queries: int = 3):
+    return [
+        extract_query(
+            database.graphs[index % len(database.graphs)].skeleton,
+            3,
+            rng=seed + index,
+        )
+        for index in range(num_queries)
+    ]
+
+
+def answer_tuples(result):
+    return [
+        (a.graph_id, a.graph_name, a.probability, a.decided_by) for a in result.answers
+    ]
+
+
+def build_engine(graphs, seed, num_shards=1, max_workers=0):
+    engine = ProbabilisticGraphDatabase(graphs)
+    engine.build_index(
+        feature_config=FEATURE_CONFIG,
+        bound_config=BoundConfig(method="exact"),
+        rng=seed,
+        num_shards=num_shards,
+        max_workers=max_workers,
+    )
+    return engine
+
+
+class TestReferenceParity:
+    """Pipeline top-k == exhaustive exact-scan top-k, randomized."""
+
+    @pytest.mark.parametrize("seed,num_graphs", [(111, 7), (222, 8)])
+    def test_top_k_matches_exact_scan_reference(self, seed, num_graphs):
+        database = random_database(seed, num_graphs)
+        workload = random_workload(database, seed=seed * 5 + 1)
+        reference = ExactScanBaseline(database.graphs, EXACT_SCAN_CONFIG)
+        engines = {
+            num_shards: build_engine(database.graphs, seed, num_shards=num_shards)
+            for num_shards in (1, 2, 4)
+        }
+        for query_index, query in enumerate(workload):
+            for k in (1, 3, num_graphs):
+                expected = reference.top_k(query, k, DISTANCE_THRESHOLD, rng=seed)
+                expected_tuples = [
+                    (a.graph_id, a.probability) for a in expected.answers
+                ]
+                for num_shards, engine in engines.items():
+                    result = engine.query_top_k(
+                        query, k, DISTANCE_THRESHOLD, config=EXACT_SEARCH_CONFIG, rng=seed
+                    )
+                    assert [
+                        (a.graph_id, a.probability) for a in result.answers
+                    ] == expected_tuples, (query_index, k, num_shards)
+
+    def test_k_larger_than_matches_returns_all_positive(self):
+        database = random_database(333, 6)
+        query = random_workload(database, seed=90, num_queries=1)[0]
+        engine = build_engine(database.graphs, 333)
+        huge = engine.query_top_k(
+            query, len(database.graphs), DISTANCE_THRESHOLD, config=EXACT_SEARCH_CONFIG, rng=2
+        )
+        reference = ExactScanBaseline(database.graphs, EXACT_SCAN_CONFIG).top_k(
+            query, len(database.graphs), DISTANCE_THRESHOLD, rng=2
+        )
+        assert [(a.graph_id, a.probability) for a in huge.answers] == [
+            (a.graph_id, a.probability) for a in reference.answers
+        ]
+        assert all(a.probability > 0.0 for a in huge.answers)
+
+    def test_top_k_is_prefix_of_threshold_ranking(self):
+        """Top-k answers are exactly the k best answers a permissive
+        threshold query returns (same order, same probabilities)."""
+        database = random_database(444, 7)
+        query = random_workload(database, seed=41, num_queries=1)[0]
+        engine = build_engine(database.graphs, 444)
+        k = 3
+        top = engine.query_top_k(
+            query, k, DISTANCE_THRESHOLD, config=EXACT_SEARCH_CONFIG, rng=7
+        )
+        threshold = engine.query(
+            query, 1e-9, DISTANCE_THRESHOLD, config=EXACT_SEARCH_CONFIG, rng=7
+        )
+        assert answer_tuples(top) == answer_tuples(threshold)[: len(top.answers)]
+
+
+class TestCrossShardMergeInvariant:
+    """Sharded top-k ≡ sequential top-k, byte for byte."""
+
+    @pytest.mark.parametrize("seed,num_graphs", [(555, 7), (666, 8)])
+    def test_sharded_byte_identical_to_sequential_with_sampling(self, seed, num_graphs):
+        database = random_database(seed, num_graphs)
+        workload = random_workload(database, seed=seed * 7 + 3)
+        sequential = build_engine(database.graphs, seed)
+        for k in (1, 3, num_graphs):
+            expected = [
+                pickle.dumps(
+                    answer_tuples(
+                        sequential.query_top_k(
+                            query, k, DISTANCE_THRESHOLD, config=SAMPLING_SEARCH_CONFIG, rng=seed
+                        )
+                    )
+                )
+                for query in workload
+            ]
+            for num_shards in (2, 4):
+                sharded = build_engine(database.graphs, seed, num_shards=num_shards)
+                results = sharded.query_top_k_many(
+                    workload, k, DISTANCE_THRESHOLD, config=SAMPLING_SEARCH_CONFIG, rng=seed
+                )
+                assert [
+                    pickle.dumps(answer_tuples(result)) for result in results
+                ] == expected, (k, num_shards)
+
+    def test_worker_count_does_not_change_answers(self):
+        database = random_database(777, 6)
+        query = random_workload(database, seed=71, num_queries=1)[0]
+        fingerprints = []
+        for max_workers in (0, 1, 2):
+            engine = build_engine(
+                database.graphs, 777, num_shards=2, max_workers=max_workers
+            )
+            try:
+                result = engine.query_top_k(
+                    query, 3, DISTANCE_THRESHOLD, config=SAMPLING_SEARCH_CONFIG, rng=13
+                )
+            finally:
+                engine.close()
+            fingerprints.append(pickle.dumps(answer_tuples(result)))
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+
+    def test_same_seed_same_answers(self):
+        database = random_database(888, 7)
+        query = random_workload(database, seed=81, num_queries=1)[0]
+        engine = build_engine(database.graphs, 888, num_shards=3)
+        first = engine.query_top_k(
+            query, 2, DISTANCE_THRESHOLD, config=SAMPLING_SEARCH_CONFIG, rng=5
+        )
+        second = engine.query_top_k(
+            query, 2, DISTANCE_THRESHOLD, config=SAMPLING_SEARCH_CONFIG, rng=5
+        )
+        assert answer_tuples(first) == answer_tuples(second)
+
+    def test_merged_statistics_report_shard_work(self):
+        """Shard floors are laxer than the sequential one, so the merged
+        ``verified`` counter may exceed sequential — but the answer counters
+        and stage list must stay coherent."""
+        database = random_database(999, 8)
+        query = random_workload(database, seed=91, num_queries=1)[0]
+        sequential = build_engine(database.graphs, 999)
+        sharded = build_engine(database.graphs, 999, num_shards=4)
+        sequential_result = sequential.query_top_k(
+            query, 2, DISTANCE_THRESHOLD, config=EXACT_SEARCH_CONFIG, rng=3
+        )
+        sharded_result = sharded.query_top_k(
+            query, 2, DISTANCE_THRESHOLD, config=EXACT_SEARCH_CONFIG, rng=3
+        )
+        assert answer_tuples(sequential_result) == answer_tuples(sharded_result)
+        stats = sharded_result.statistics
+        assert stats.database_size == len(database.graphs)
+        assert stats.answers == len(sharded_result.answers)
+        assert stats.verified >= sequential_result.statistics.verified
+        assert [s.stage for s in stats.stages] == [
+            "structural_filter",
+            "pmi_pruning",
+            "verification",
+        ]
+
+
+class TestTopKPruningEffectiveness:
+    def test_dynamic_floor_skips_verifications(self):
+        """With k much smaller than the candidate set, the tightening floor
+        must verify no more graphs than the full threshold scan — and the
+        skipped candidates show up in the verification stage's counters."""
+        database = random_database(1234, 8)
+        query = random_workload(database, seed=21, num_queries=1)[0]
+        engine = build_engine(database.graphs, 1234)
+        scan = engine.query(
+            query, 1e-9, DISTANCE_THRESHOLD, config=EXACT_SEARCH_CONFIG, rng=7
+        )
+        top = engine.query_top_k(
+            query, 1, DISTANCE_THRESHOLD, config=EXACT_SEARCH_CONFIG, rng=7
+        )
+        assert top.statistics.verified <= scan.statistics.verified
+        verification_stage = top.statistics.stages[-1]
+        assert (
+            verification_stage.pruned
+            == verification_stage.examined - top.statistics.verified
+        )
