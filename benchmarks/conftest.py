@@ -12,7 +12,16 @@ the *shapes* of the curves, not absolute seconds.
 
 from __future__ import annotations
 
+import sys
+
 import pytest
+
+# Benchmarks run as scripts (python benchmarks/bench_*.py) as often as under
+# pytest; skip writing bytecode so ad-hoc runs don't litter benchmarks/ and
+# examples/ with __pycache__ directories (they are .gitignore'd too, but the
+# cleanest cache is the one never written — import-time cost here is noise
+# next to the SIP-bound computations being measured).
+sys.dont_write_bytecode = True
 
 from repro.core import ProbabilisticGraphDatabase
 from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_query_workload

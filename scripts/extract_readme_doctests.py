@@ -1,0 +1,69 @@
+"""Keep README code blocks honest: extract and execute every one of them.
+
+Usage::
+
+    PYTHONPATH=src python scripts/extract_readme_doctests.py [README.md] [out.txt]
+
+Two kinds of fenced ``python`` blocks live in the README:
+
+* **script blocks** (no ``>>>`` prompts) — executed here, in order, in one
+  shared namespace (later blocks may reuse names from earlier ones, exactly
+  as a reader pasting them into a session would);
+* **doctest blocks** (``>>>`` prompts with expected output) — concatenated
+  into ``out.txt`` (default ``readme_doctests.txt``) in ``doctest`` text
+  format, so CI can run ``python -m doctest readme_doctests.txt`` and fail
+  when a documented value drifts.
+
+Exit status is non-zero if any script block raises or if no blocks were
+found (an empty extraction almost certainly means the fence syntax changed
+and the check went blind).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_blocks(markdown: str) -> list[str]:
+    return [match.group(1).strip("\n") for match in FENCE.finditer(markdown)]
+
+
+def main(argv: list[str]) -> int:
+    readme = Path(argv[1]) if len(argv) > 1 else Path("README.md")
+    out = Path(argv[2]) if len(argv) > 2 else Path("readme_doctests.txt")
+    blocks = extract_blocks(readme.read_text())
+    if not blocks:
+        print(f"error: no ```python blocks found in {readme}", file=sys.stderr)
+        return 1
+
+    script_blocks = [block for block in blocks if ">>>" not in block]
+    doctest_blocks = [block for block in blocks if ">>>" in block]
+
+    namespace: dict = {"__name__": "__readme__"}
+    for index, block in enumerate(script_blocks):
+        print(f"running README script block {index + 1}/{len(script_blocks)} ...")
+        try:
+            exec(compile(block, f"<README block {index + 1}>", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report which block broke
+            print(f"error: README script block {index + 1} failed: {error!r}",
+                  file=sys.stderr)
+            return 1
+
+    out.write_text(
+        "README doctest blocks (auto-extracted; run: python -m doctest <this file>)\n\n"
+        + "\n\n".join(doctest_blocks)
+        + "\n"
+    )
+    print(
+        f"ok: {len(script_blocks)} script block(s) executed, "
+        f"{len(doctest_blocks)} doctest block(s) written to {out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

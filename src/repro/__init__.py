@@ -45,6 +45,7 @@ from repro.pmi import (
     compute_sip_bounds,
 )
 from repro.core import (
+    GraphCatalog,
     ProbabilisticGraphDatabase,
     QueryPlanner,
     ShardedPlanner,
@@ -84,6 +85,7 @@ __all__ = [
     "BoundConfig",
     "FeatureSelectionConfig",
     "compute_sip_bounds",
+    "GraphCatalog",
     "ProbabilisticGraphDatabase",
     "QueryPlanner",
     "ShardedPlanner",

@@ -47,6 +47,12 @@ from repro.core.sharding import (
     ShardedPlanner,
     merge_query_results,
     partition_ranges,
+    route_to_smallest,
+)
+from repro.core.catalog import (
+    GraphCatalog,
+    SegmentedPmiView,
+    SegmentedStructuralView,
 )
 
 __all__ = [
@@ -91,4 +97,8 @@ __all__ = [
     "ShardedPlanner",
     "merge_query_results",
     "partition_ranges",
+    "route_to_smallest",
+    "GraphCatalog",
+    "SegmentedPmiView",
+    "SegmentedStructuralView",
 ]

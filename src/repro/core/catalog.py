@@ -1,0 +1,685 @@
+"""The mutable graph-database layer: a catalog over immutable base indexes.
+
+The PMI and structural indexes of the paper are built once over a static
+database.  :class:`GraphCatalog` turns that snapshot into a *mutable*
+database without ever rebuilding it wholesale, borrowing the standard
+log-structured storage recipe (LogBase-style): the expensive base indexes
+stay **immutable**, mutations land in a small **append-only delta segment**,
+deletions become entries in a **tombstone mask**, and :meth:`compact`
+periodically folds everything back into fresh dense base matrices.
+
+Lifecycle of one shard's storage::
+
+    rows:       [ base segment (immutable) | delta segment (append-only) ]
+    tombstone:  [ F F T F ...              | F T ...                     ]
+                       ^ remove_graph()        ^ update_graph() tombstones
+                                                 the old row, re-adds under
+                                                 the same external id
+
+At query time the planner stages evaluate base *and* delta columns — the
+structural deficit test runs one vectorized pass per segment, the PMI stage
+reads zero-copy rows from whichever segment owns the candidate — and the
+tombstone mask is applied before any stage runs, so dead rows cost nothing
+beyond their (reclaimable-by-compaction) storage.
+
+**Determinism contract.**  Every graph carries a *stable external id*,
+assigned at :meth:`add_graph` time and preserved across
+:meth:`update_graph` and :meth:`compact`.  All per-graph RNG streams (index
+build, pruning, verification) and all orderings (answer sort, top-k visit
+order, top-k tie-breaks) key on that id — never on a row position.  As a
+consequence, threshold and top-k answers over a mutated catalog are
+**byte-identical** — probabilities, ranks, and per-stage counters — to a
+from-scratch build over the *equivalent database*: the same
+``(external id → graph)`` mapping, the catalog's pinned feature set, and
+the catalog's 64-bit build root, in **any** row order.  The same holds for
+every shard count: sharded answers equal sequential answers (PR 2/3
+invariants), so mutation, compaction, and resharding are all invisible in
+query output.
+
+**Sharding and placement.**  With ``num_shards > 1`` each shard owns its own
+base/delta/tombstone triple.  ``add_graph`` routes the new graph to the
+shard with the fewest live graphs (:func:`repro.core.sharding.route_to_smallest`);
+``compact()`` rebalances by collecting all live graphs (ordered by external
+id) and re-partitioning them contiguously with
+:func:`repro.core.sharding.partition_ranges` — the same balanced-split rule
+static builds use.  Queries fan out through the ordinary
+:class:`~repro.core.sharding.ShardedPlanner`; mutations invalidate the
+cached planner (and its worker pool), so read-heavy phases amortize the
+rebuild while writes stay cheap.
+
+The feature set is **pinned** at catalog construction: delta rows are
+indexed against the base features, and ``compact()`` deliberately does not
+re-mine (that would change pruning behaviour and break the rebuild-parity
+contract).  Re-mining is a full :meth:`GraphCatalog.build` — by design an
+explicit, offline decision.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+
+from repro.core.planner import QueryPlanner, validate_query, validate_top_k_query
+from repro.core.results import QueryResult
+from repro.core.sharding import (
+    DatabaseShard,
+    ShardSpec,
+    ShardedPlanner,
+    partition_ranges,
+    route_to_smallest,
+)
+from repro.exceptions import CatalogError
+from repro.graphs.labeled_graph import LabeledGraph
+from repro.graphs.probabilistic_graph import ProbabilisticGraph
+from repro.pmi.bounds import BoundConfig
+from repro.pmi.features import FeatureMiner, FeatureSelectionConfig
+from repro.pmi.index import PMIRow, ProbabilisticMatrixIndex
+from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.rng import RandomLike, rng_root
+
+__all__ = ["GraphCatalog", "SegmentedPmiView", "SegmentedStructuralView"]
+
+
+# ----------------------------------------------------------------------
+# segmented (base + delta) index views
+# ----------------------------------------------------------------------
+class SegmentedPmiView:
+    """Read-only PMI protocol over a base segment and a delta segment.
+
+    Storage row ``r`` resolves to base row ``r`` when ``r < len(base)`` and
+    to delta row ``r - len(base)`` otherwise; returned :class:`PMIRow` views
+    stay zero-copy into whichever segment owns the row.  The feature columns
+    are shared (the delta is always built against the base's pinned feature
+    set), so pruning code cannot tell a segmented view from a dense index.
+    """
+
+    def __init__(
+        self, base: ProbabilisticMatrixIndex, delta: ProbabilisticMatrixIndex
+    ) -> None:
+        self.base = base
+        self.delta = delta
+
+    @property
+    def features(self):
+        return self.base.features
+
+    @property
+    def num_graphs(self) -> int:
+        return self.base.num_graphs + self.delta.num_graphs
+
+    def row(self, graph_id: int) -> PMIRow:
+        base_rows = self.base.num_graphs
+        if graph_id < base_rows:
+            segment_row = self.base.row(graph_id)
+        else:
+            segment_row = self.delta.row(graph_id - base_rows)
+        return PMIRow(
+            graph_id=graph_id,
+            feature_ids=segment_row.feature_ids,
+            lower=segment_row.lower,
+            upper=segment_row.upper,
+            present=segment_row.present,
+        )
+
+    def rows(self, graph_ids) -> list[PMIRow]:
+        return [self.row(int(graph_id)) for graph_id in graph_ids]
+
+
+class SegmentedStructuralView:
+    """Structural-index protocol over a base segment and a delta segment.
+
+    ``deficit_prunable_mask`` evaluates the vectorized Grafil test once per
+    segment and concatenates — base columns and delta columns, exactly as the
+    catalog stores them — leaving the caller (the pipeline's structural
+    stage) to apply the tombstone mask via its ``active`` argument.
+    """
+
+    def __init__(
+        self, base: StructuralFeatureIndex, delta: StructuralFeatureIndex
+    ) -> None:
+        self.base = base
+        self.delta = delta
+
+    @property
+    def is_built(self) -> bool:
+        return self.base.is_built and self.delta.is_built
+
+    @property
+    def features(self):
+        return self.base.features
+
+    @property
+    def num_graphs(self) -> int:
+        return self.base.num_graphs + self.delta.num_graphs
+
+    def query_profile(self, query: LabeledGraph) -> dict[int, dict]:
+        # depends only on the (shared) feature set, so the base answers it
+        return self.base.query_profile(query)
+
+    def deficit_prunable_mask(
+        self, query_profile: dict[int, dict], distance_threshold: int
+    ) -> np.ndarray:
+        return np.concatenate(
+            [
+                self.base.deficit_prunable_mask(query_profile, distance_threshold),
+                self.delta.deficit_prunable_mask(query_profile, distance_threshold),
+            ]
+        )
+
+
+# ----------------------------------------------------------------------
+# one shard's storage
+# ----------------------------------------------------------------------
+class _ShardStore:
+    """Base segment + delta segment + tombstone mask for one shard."""
+
+    def __init__(
+        self,
+        graphs: list[ProbabilisticGraph],
+        external_ids,
+        base_pmi: ProbabilisticMatrixIndex,
+        base_structural: StructuralFeatureIndex,
+    ) -> None:
+        self.graphs = list(graphs)
+        self.external_ids = np.asarray(external_ids, dtype=np.int64)
+        self.tombstone = np.zeros(len(self.graphs), dtype=bool)
+        self.base_pmi = base_pmi
+        self.base_structural = base_structural
+        self.delta_pmi = ProbabilisticMatrixIndex.empty(
+            base_pmi.features,
+            feature_config=base_pmi.feature_config,
+            bound_config=base_pmi.bound_config,
+        )
+        self.delta_structural = StructuralFeatureIndex.from_counts(
+            base_pmi.features,
+            np.zeros((0, len(base_pmi.features)), dtype=np.int32),
+            embedding_limit=base_pmi.feature_config.embedding_limit,
+        )
+
+    @property
+    def storage_rows(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def delta_rows(self) -> int:
+        return self.delta_pmi.num_graphs
+
+    @property
+    def live_count(self) -> int:
+        return int(np.count_nonzero(~self.tombstone))
+
+    def live_positions(self) -> np.ndarray:
+        return np.flatnonzero(~self.tombstone)
+
+    def append(self, graph: ProbabilisticGraph, external_id: int, root: int) -> int:
+        """Index one new graph into the delta segment; returns its storage row."""
+        self.delta_pmi.append([graph], [external_id], rng=root)
+        self.delta_structural.append([graph.skeleton])
+        self.graphs.append(graph)
+        self.external_ids = np.append(self.external_ids, np.int64(external_id))
+        self.tombstone = np.append(self.tombstone, False)
+        return len(self.graphs) - 1
+
+    def make_shard(self, shard_id: int) -> DatabaseShard:
+        """A :class:`DatabaseShard` over this store's segmented live view."""
+        return DatabaseShard(
+            spec=ShardSpec(shard_id=shard_id, start=0, stop=self.live_count),
+            graphs=self.graphs,
+            pmi=SegmentedPmiView(self.base_pmi, self.delta_pmi),
+            structural_index=SegmentedStructuralView(
+                self.base_structural, self.delta_structural
+            ),
+            graph_ids=self.external_ids,
+            active_mask=~self.tombstone,
+        )
+
+    def live_slice(self):
+        """``(graphs, external_ids, pmi, counts)`` of the live rows, in
+        storage order — the raw material of compaction and rebalancing."""
+        positions = self.live_positions()
+        base_rows = self.base_pmi.num_graphs
+        base_pos = [int(p) for p in positions if p < base_rows]
+        delta_pos = [int(p) - base_rows for p in positions if p >= base_rows]
+        pmi = ProbabilisticMatrixIndex.concat_rows(
+            [self.base_pmi.subset(base_pos), self.delta_pmi.subset(delta_pos)]
+        )
+        counts = np.vstack(
+            [
+                np.asarray(self.base_structural.counts_matrix())[base_pos],
+                np.asarray(self.delta_structural.counts_matrix())[delta_pos],
+            ]
+        )
+        graphs = [self.graphs[int(p)] for p in positions]
+        ids = self.external_ids[positions]
+        return graphs, ids, pmi, counts
+
+
+# ----------------------------------------------------------------------
+# the catalog
+# ----------------------------------------------------------------------
+class GraphCatalog:
+    """A mutable, queryable probabilistic graph database.
+
+    Construct with :meth:`build` (index from scratch) or via
+    :meth:`repro.core.search_engine.ProbabilisticGraphDatabase.to_catalog`
+    (adopt an already-built sequential index).  Query methods mirror the
+    engine (``query`` / ``query_many`` / ``query_top_k`` /
+    ``query_top_k_many``) and honour the same determinism contracts; see the
+    module docstring for the mutation/compaction lifecycle.
+    """
+
+    def __init__(
+        self,
+        stores: list[_ShardStore],
+        feature_config: FeatureSelectionConfig,
+        bound_config: BoundConfig,
+        root: int,
+        num_shards: int,
+        max_workers: int | None,
+    ) -> None:
+        if not stores:
+            raise CatalogError("a catalog needs at least one shard store")
+        self._stores = stores
+        self._feature_config = feature_config
+        self._bound_config = bound_config
+        self._root = root
+        self._num_shards = num_shards
+        self._max_workers = max_workers
+        self._planner_cache: QueryPlanner | ShardedPlanner | None = None
+        # external id -> (store index, storage row); covers live rows only
+        self._live: dict[int, tuple[int, int]] = {}
+        next_id = 0
+        for store_index, store in enumerate(stores):
+            for position in store.live_positions():
+                external_id = int(store.external_ids[position])
+                if external_id in self._live:
+                    raise CatalogError(
+                        f"external id {external_id} is live in two shards"
+                    )
+                self._live[external_id] = (store_index, int(position))
+                next_id = max(next_id, external_id + 1)
+        self._next_external_id = next_id
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graphs: list[ProbabilisticGraph],
+        feature_config: FeatureSelectionConfig | None = None,
+        bound_config: BoundConfig | None = None,
+        rng: RandomLike = None,
+        num_shards: int = 1,
+        max_workers: int | None = None,
+    ) -> "GraphCatalog":
+        """Mine features once, build the base indexes, seed external ids 0..N-1.
+
+        With the same ``rng`` (an int seed, for reproducibility) this base
+        build is cell-for-cell identical to
+        ``ProbabilisticGraphDatabase.build_index(rng=...)`` over the same
+        graphs — the catalog only *adds* the mutation layer on top.
+        """
+        if not graphs:
+            raise CatalogError("the catalog needs at least one probabilistic graph")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+        feature_cfg = feature_config or FeatureSelectionConfig()
+        bound_cfg = bound_config or BoundConfig()
+        root = rng_root(rng)
+        features = FeatureMiner(feature_cfg).mine(graphs)
+        external_ids = np.arange(len(graphs), dtype=np.int64)
+        specs = partition_ranges(len(graphs), num_shards)
+        stores = []
+        for spec in specs:
+            slice_graphs = graphs[spec.start : spec.stop]
+            slice_ids = external_ids[spec.start : spec.stop]
+            base_pmi = ProbabilisticMatrixIndex(
+                feature_config=feature_cfg, bound_config=bound_cfg
+            ).build(slice_graphs, features=features, rng=root, graph_ids=slice_ids)
+            base_structural = StructuralFeatureIndex(
+                embedding_limit=feature_cfg.embedding_limit
+            ).build([graph.skeleton for graph in slice_graphs], features)
+            stores.append(
+                _ShardStore(slice_graphs, slice_ids, base_pmi, base_structural)
+            )
+        return cls(stores, feature_cfg, bound_cfg, root, num_shards, max_workers)
+
+    @classmethod
+    def from_index(
+        cls,
+        graphs: list[ProbabilisticGraph],
+        pmi: ProbabilisticMatrixIndex,
+        structural_index: StructuralFeatureIndex,
+        num_shards: int = 1,
+        max_workers: int | None = None,
+    ) -> "GraphCatalog":
+        """Adopt an already-built (or loaded) sequential index as the base.
+
+        External ids are the index's row positions ``0..N-1`` — exactly the
+        stable ids the static build salted its RNG streams with, so adopted
+        catalogs answer identically to the engine they came from.  The index
+        must carry its ``build_root`` (recorded by every build since the
+        catalog layer; older persisted payloads lack it) because delta
+        appends must derive their streams from the same root.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+        if pmi.database_size != len(graphs):
+            raise CatalogError(
+                f"base PMI covers {pmi.database_size} graphs, got {len(graphs)}"
+            )
+        if pmi.build_root is None:
+            raise CatalogError(
+                "the base index has no recorded build root (written by builds "
+                "since the catalog layer); rebuild it or use GraphCatalog.build()"
+            )
+        external_ids = np.arange(len(graphs), dtype=np.int64)
+        specs = partition_ranges(len(graphs), num_shards)
+        stores = [
+            _ShardStore(
+                graphs[spec.start : spec.stop],
+                external_ids[spec.start : spec.stop],
+                pmi.subset(spec.global_ids()),
+                structural_index.subset(spec.global_ids()),
+            )
+            for spec in specs
+        ]
+        return cls(
+            stores,
+            pmi.feature_config,
+            pmi.bound_config,
+            pmi.build_root,
+            num_shards,
+            max_workers,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def features(self):
+        """The pinned feature set every segment indexes against."""
+        return self._stores[0].base_pmi.features
+
+    @property
+    def build_root(self) -> int:
+        """The 64-bit root all base and delta RNG streams derive from."""
+        return self._root
+
+    @property
+    def num_live(self) -> int:
+        return len(self._live)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._stores)
+
+    @property
+    def delta_rows(self) -> int:
+        """Rows currently in delta segments (reset to 0 by :meth:`compact`)."""
+        return sum(store.delta_rows for store in self._stores)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Dead rows awaiting reclamation by :meth:`compact`."""
+        return sum(
+            int(np.count_nonzero(store.tombstone)) for store in self._stores
+        )
+
+    def shard_live_counts(self) -> list[int]:
+        """Per-shard live graph counts (the routing rule's input)."""
+        return [store.live_count for store in self._stores]
+
+    def live_external_ids(self) -> list[int]:
+        """Every live external id, ascending."""
+        return sorted(self._live)
+
+    def live_items(self) -> list[tuple[int, ProbabilisticGraph]]:
+        """``(external_id, graph)`` pairs, ascending by id.
+
+        This *is* the equivalent database of the parity contract: a
+        from-scratch build over these pairs (same features, same root, ids
+        as ``graph_ids``) answers every query byte-identically to the
+        catalog.
+        """
+        return [
+            (external_id, self._stores[store].graphs[position])
+            for external_id, (store, position) in sorted(self._live.items())
+        ]
+
+    def get_graph(self, external_id: int) -> ProbabilisticGraph:
+        """The live graph stored under ``external_id``."""
+        store_index, position = self._locate(external_id)
+        return self._stores[store_index].graphs[position]
+
+    def __len__(self) -> int:
+        return self.num_live
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphCatalog(live={self.num_live}, shards={self.num_shards}, "
+            f"delta_rows={self.delta_rows}, tombstones={self.tombstone_count})"
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_graph(
+        self, graph: ProbabilisticGraph, external_id: int | None = None
+    ) -> int:
+        """Index one new graph without touching the base; returns its id.
+
+        The graph's PMI row is computed with
+        ``derive_rng(build_root, BUILD_STREAM, external_id)`` — the stream a
+        from-scratch build would use for that id — and appended to the delta
+        segment of the shard with the fewest live graphs.  ``external_id``
+        defaults to the next unused id; passing an id that is currently live
+        raises :class:`CatalogError` (use :meth:`update_graph`), while
+        re-using the id of a *removed* graph is allowed and gives the new
+        graph that identity.
+        """
+        if external_id is None:
+            external_id = self._next_external_id
+        else:
+            try:
+                external_id = operator.index(external_id)
+            except TypeError:
+                raise CatalogError(
+                    f"external_id must be an integer, got {external_id!r}"
+                ) from None
+            if external_id < 0:
+                raise CatalogError(f"external_id must be >= 0, got {external_id!r}")
+        if external_id in self._live:
+            raise CatalogError(
+                f"external id {external_id} is live; remove it first or use "
+                "update_graph()"
+            )
+        store_index = route_to_smallest(self.shard_live_counts())
+        position = self._stores[store_index].append(graph, external_id, self._root)
+        self._live[external_id] = (store_index, position)
+        self._next_external_id = max(self._next_external_id, external_id + 1)
+        self._invalidate()
+        return external_id
+
+    def remove_graph(self, external_id: int) -> None:
+        """Tombstone the live row of ``external_id`` (storage reclaimed by
+        :meth:`compact`); raises :class:`CatalogError` if the id is not live."""
+        store_index, position = self._locate(external_id)
+        self._stores[store_index].tombstone[position] = True
+        del self._live[external_id]
+        self._invalidate()
+
+    def update_graph(self, external_id: int, graph: ProbabilisticGraph) -> None:
+        """Replace the graph stored under a live ``external_id``.
+
+        Implemented as tombstone + re-add under the same id: the old row
+        dies, the new row lands in the (currently) smallest shard, and every
+        RNG stream keyed by the id re-derives over the new content — so the
+        update answers exactly as if the graph had always been this version.
+        """
+        self._locate(external_id)  # raises if not live
+        self.remove_graph(external_id)
+        self.add_graph(graph, external_id=external_id)
+
+    def compact(self) -> "GraphCatalog":
+        """Fold delta rows and reclaim tombstones into fresh base matrices.
+
+        Live rows (ordered by external id) are re-partitioned into
+        ``num_shards`` balanced contiguous shards — the rebalance step — with
+        empty deltas and clear tombstone masks.  No SIP bound or embedding
+        count is recomputed: compaction is pure row movement, so by the
+        stable-id contract query answers are unchanged.  With every graph
+        removed, the catalog compacts to one empty shard and keeps answering
+        (with zero answers) until graphs are added again.
+        """
+        slices = [store.live_slice() for store in self._stores]
+        graphs = [graph for part in slices for graph in part[0]]
+        ids = np.concatenate([part[1] for part in slices])
+        if len(graphs) == 0:
+            empty_pmi = ProbabilisticMatrixIndex.empty(
+                self.features,
+                feature_config=self._feature_config,
+                bound_config=self._bound_config,
+            )
+            empty_structural = StructuralFeatureIndex.from_counts(
+                self.features,
+                np.zeros((0, len(self.features)), dtype=np.int32),
+                embedding_limit=self._feature_config.embedding_limit,
+            )
+            stores = [_ShardStore([], [], empty_pmi, empty_structural)]
+        else:
+            pmi = ProbabilisticMatrixIndex.concat_rows([part[2] for part in slices])
+            counts = np.vstack([part[3] for part in slices])
+            order = np.argsort(ids, kind="stable")
+            pmi = pmi.subset([int(row) for row in order])
+            counts = counts[order]
+            ids = ids[order]
+            graphs = [graphs[int(row)] for row in order]
+            stores = []
+            for spec in partition_ranges(len(graphs), self._num_shards):
+                stores.append(
+                    _ShardStore(
+                        graphs[spec.start : spec.stop],
+                        ids[spec.start : spec.stop],
+                        pmi.subset(spec.global_ids()),
+                        StructuralFeatureIndex.from_counts(
+                            self.features,
+                            counts[spec.start : spec.stop],
+                            embedding_limit=self._feature_config.embedding_limit,
+                        ),
+                    )
+                )
+        self._invalidate()
+        self._stores = stores
+        self._live = {
+            int(store.external_ids[position]): (store_index, int(position))
+            for store_index, store in enumerate(stores)
+            for position in store.live_positions()
+        }
+        return self
+
+    # ------------------------------------------------------------------
+    # querying (engine-compatible surface)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query_graph: LabeledGraph,
+        probability_threshold: float,
+        distance_threshold: int,
+        config=None,
+        rng: RandomLike = None,
+    ) -> QueryResult:
+        """One T-PS query over the live graphs; answers carry external ids."""
+        validate_query(query_graph, probability_threshold, distance_threshold)
+        return self._planner().execute(
+            query_graph, probability_threshold, distance_threshold, config, rng=rng
+        )
+
+    def query_many(
+        self,
+        query_graphs: list[LabeledGraph],
+        probability_threshold: float,
+        distance_threshold: int,
+        config=None,
+        rng: RandomLike = None,
+    ) -> list[QueryResult]:
+        """A T-PS workload; identical answers to sequential :meth:`query` calls."""
+        for query_graph in query_graphs:
+            validate_query(query_graph, probability_threshold, distance_threshold)
+        return self._planner().execute_many(
+            query_graphs, probability_threshold, distance_threshold, config, rng=rng
+        )
+
+    def query_top_k(
+        self,
+        query_graph: LabeledGraph,
+        k: int,
+        distance_threshold: int,
+        config=None,
+        rng: RandomLike = None,
+    ) -> QueryResult:
+        """The k most probable live graphs, best first (ties → smaller id)."""
+        validate_top_k_query(query_graph, k, distance_threshold)
+        return self._planner().execute_top_k(
+            query_graph, k, distance_threshold, config, rng=rng
+        )
+
+    def query_top_k_many(
+        self,
+        query_graphs: list[LabeledGraph],
+        k: int,
+        distance_threshold: int,
+        config=None,
+        rng: RandomLike = None,
+    ) -> list[QueryResult]:
+        """A top-k workload; one result per query, in input order."""
+        for query_graph in query_graphs:
+            validate_top_k_query(query_graph, k, distance_threshold)
+        return self._planner().execute_top_k_many(
+            query_graphs, k, distance_threshold, config, rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the cached planner and any sharded worker pool (idempotent)."""
+        self._invalidate()
+
+    def __enter__(self) -> "GraphCatalog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _locate(self, external_id: int) -> tuple[int, int]:
+        location = self._live.get(external_id)
+        if location is None:
+            raise CatalogError(f"external id {external_id!r} is not live")
+        return location
+
+    def _planner(self) -> QueryPlanner | ShardedPlanner:
+        """The current planner view; rebuilt lazily after any mutation."""
+        if self._planner_cache is None:
+            shards = [
+                store.make_shard(store_index)
+                for store_index, store in enumerate(self._stores)
+            ]
+            if len(shards) == 1:
+                self._planner_cache = shards[0].make_planner()
+            else:
+                self._planner_cache = ShardedPlanner(
+                    shards, max_workers=self._max_workers
+                )
+        return self._planner_cache
+
+    def _invalidate(self) -> None:
+        closer = getattr(self._planner_cache, "close", None)
+        if closer is not None:
+            closer()
+        self._planner_cache = None

@@ -59,19 +59,21 @@ from repro.core.results import (
     QueryStatistics,
     StageStatistics,
 )
-from repro.utils.rng import derive_rng
+from repro.utils.rng import PRUNE_STREAM, VERIFY_STREAM, derive_rng
 from repro.utils.timer import Timer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.planner import QueryPlan, QueryPlanner
 
-# Stage tags for the per-graph RNG stream derivation.  Every stochastic
-# sub-task derives its generator as derive_rng(root, STAGE, global_graph_id),
-# so the streams a graph consumes depend only on (root, stage, graph id) —
-# never on how many other candidates ran before it in this process.  That is
-# what lets a sharded executor reproduce the sequential planner bit-for-bit.
-PRUNE_STREAM = 1
-VERIFY_STREAM = 2
+# PRUNE_STREAM / VERIFY_STREAM (re-exported from repro.utils.rng): every
+# stochastic sub-task derives its generator as derive_rng(root, STAGE,
+# stable_graph_id), where the stable id is the planner's global id for the
+# graph (its row position in a static database, its external id in a mutable
+# catalog).  The streams a graph consumes therefore depend only on (root,
+# stage, stable id) — never on how many other candidates ran before it, which
+# shard owns it, or how the database was mutated around it.  That is what
+# lets sharded executors and mutated catalogs reproduce a from-scratch
+# sequential run bit-for-bit.
 
 THRESHOLD_MODE = "threshold"
 TOP_K_MODE = "top_k"
@@ -83,7 +85,10 @@ class CandidateSet:
     ``mask[i]`` is True while local graph ``i`` is still in play; ``usim`` /
     ``lsim`` carry the per-graph SSP bound columns once the PMI stage has
     filled them (``1.0`` / ``0.0`` — the vacuous bounds — before that, and
-    for graphs whose bounds were never computed).
+    for graphs whose bounds were never computed).  A catalog planner starts
+    the mask at its live (non-tombstoned) rows instead of all-True, which is
+    the only difference a mutated database makes to the stages — counters
+    and answers then match a from-scratch build over the live rows exactly.
     """
 
     def __init__(self, size: int) -> None:
@@ -321,7 +326,7 @@ class PmiPruningStage(PipelineStage):
                 row,
                 plan.containment,
                 rng=derive_rng(
-                    ctx.root, PRUNE_STREAM, planner.graph_id_offset + row.graph_id
+                    ctx.root, PRUNE_STREAM, int(planner.global_ids[row.graph_id])
                 ),
             )
             for row in planner.pmi.rows(active)
@@ -348,7 +353,7 @@ class PmiPruningStage(PipelineStage):
             graph_id = int(active[index])
             ctx.result.answers.append(
                 QueryAnswer(
-                    graph_id=planner.graph_id_offset + graph_id,
+                    graph_id=int(planner.global_ids[graph_id]),
                     graph_name=planner.graphs[graph_id].name,
                     probability=bounds_list[index].lsim,
                     decided_by="lower_bound",
@@ -377,7 +382,7 @@ class PmiPruningStage(PipelineStage):
         if not ctx.gather_partial:
             return
         partial = ctx.partial
-        partial.candidate_ids = active + self.planner.graph_id_offset
+        partial.candidate_ids = self.planner.global_ids[active]
         partial.usim = candidates.usim[active].copy()
         partial.lsim = candidates.lsim[active].copy()
 
@@ -405,15 +410,19 @@ class VerificationStage(PipelineStage):
         verifier = planner._verifier_for(plan)
         active = candidates.active_ids()
         if ctx.state.is_top_k:
-            # descending usim, ascending graph id — the tie-break keeps the
-            # visit order (and thus the floor trajectory) a total order
-            order = active[np.lexsort((active, -candidates.usim[active]))]
+            # descending usim, ascending *global* id — the same total order
+            # replay_top_k uses, so the floor trajectory (and thus the skip
+            # pattern) is identical whether this loop runs sequentially, per
+            # shard, or over a mutated catalog's stable external ids
+            order = active[
+                np.lexsort((planner.global_ids[active], -candidates.usim[active]))
+            ]
         else:
             order = active
         answers = 0
         for local_id in order:
             local_id = int(local_id)
-            global_id = planner.graph_id_offset + local_id
+            global_id = int(planner.global_ids[local_id])
             if ctx.state.is_top_k and not ctx.state.admits(
                 float(candidates.usim[local_id])
             ):
@@ -451,7 +460,13 @@ class VerificationStage(PipelineStage):
 
 
 class QueryPipeline:
-    """Drives an ordered stage list over one query's candidate set."""
+    """Drives an ordered stage list over one query's candidate set.
+
+    ``run`` is deterministic given ``(ctx.root, ctx.plan, the live graphs)``:
+    wall-clock fields aside, two executions produce byte-identical answers
+    and counters, independent of process, shard layout, or storage row
+    placement (all per-graph work keys on stable global ids).
+    """
 
     def __init__(self, stages: list[PipelineStage]) -> None:
         if not stages:
@@ -461,7 +476,10 @@ class QueryPipeline:
     def run(self, candidates: CandidateSet, ctx: PipelineContext) -> QueryResult:
         result = ctx.result
         stats = result.statistics
-        stats.database_size = candidates.size
+        # the *live* candidate universe: equals candidates.size for a static
+        # planner (mask starts all-True), and the non-tombstoned count for a
+        # catalog planner — which is what a from-scratch rebuild would report
+        stats.database_size = candidates.active_count
         stats.relaxed_query_count = len(ctx.plan.relaxed_queries)
         total_timer = Timer()
         with total_timer:

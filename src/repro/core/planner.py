@@ -128,7 +128,17 @@ class QueryPlan:
 
 
 class QueryPlanner:
-    """Owns the staged candidate pipeline for one indexed database (or shard)."""
+    """Owns the staged candidate pipeline for one indexed database (or shard).
+
+    Determinism contract: with the same ``rng`` seed, every ``execute*``
+    method returns byte-identical answers and counters across runs,
+    processes, and execution strategies — a sharded fan-out
+    (:class:`~repro.core.sharding.ShardedPlanner`) or a mutated catalog
+    (:class:`~repro.core.catalog.GraphCatalog`) reproduces this planner's
+    output exactly, because all stochastic work and all orderings key on
+    each graph's stable global id (``global_ids``), never on row positions
+    or visit order.
+    """
 
     def __init__(
         self,
@@ -136,6 +146,8 @@ class QueryPlanner:
         pmi: ProbabilisticMatrixIndex,
         structural_index: StructuralFeatureIndex,
         graph_id_offset: int = 0,
+        graph_ids=None,
+        active_mask: np.ndarray | None = None,
     ) -> None:
         self.graphs = graphs
         self.pmi = pmi
@@ -143,13 +155,43 @@ class QueryPlanner:
         # When the planner owns a shard (a contiguous slice of a larger
         # database), local row 0 is global graph `graph_id_offset`: answers
         # and RNG stream salts always use global ids so a sharded run is
-        # indistinguishable from the sequential one.
+        # indistinguishable from the sequential one.  A mutable catalog goes
+        # one step further and passes explicit `graph_ids` — the stable
+        # external id of every storage row — plus an `active_mask` that turns
+        # tombstoned rows off before any stage runs.  Everything downstream
+        # (answers, RNG salts, top-k visit order) keys on `global_ids`, so
+        # answers depend only on the (id → graph) mapping, never on row
+        # placement.
         self.graph_id_offset = graph_id_offset
+        if graph_ids is None:
+            self.global_ids = graph_id_offset + np.arange(len(graphs), dtype=np.int64)
+        else:
+            self.global_ids = np.asarray(graph_ids, dtype=np.int64)
+            if self.global_ids.shape != (len(graphs),):
+                raise ValueError(
+                    f"graph_ids has {self.global_ids.size} entries for "
+                    f"{len(graphs)} graphs"
+                )
+        if active_mask is not None:
+            active_mask = np.asarray(active_mask, dtype=bool)
+            if active_mask.shape != (len(graphs),):
+                raise ValueError(
+                    f"active_mask has {active_mask.size} entries for "
+                    f"{len(graphs)} graphs"
+                )
+        self.active_mask = active_mask
         self.skeletons = [graph.skeleton for graph in graphs]
         self.structural_filter = StructuralFilter(structural_index, self.skeletons)
         self.pruner = ProbabilisticPruner(pmi.features)
         self._default_verifier: Verifier | None = None
         self.pipeline: QueryPipeline = build_default_pipeline(self)
+
+    def _new_candidates(self) -> CandidateSet:
+        """A fresh candidate set: every storage row, minus tombstoned ones."""
+        candidates = CandidateSet(len(self.graphs))
+        if self.active_mask is not None:
+            candidates.mask &= self.active_mask
+        return candidates
 
     def _pruner_for(self, plan: QueryPlan) -> ProbabilisticPruner:
         """The planner-owned pruner, rebuilt only when the config changes."""
@@ -169,7 +211,12 @@ class QueryPlanner:
         distance_threshold: int,
         config: "SearchConfig | None" = None,
     ) -> QueryPlan:
-        """Relax the query and precompute the shared containment relations."""
+        """Relax the query and precompute the shared containment relations.
+
+        Planning is fully deterministic (no RNG is consumed): the same
+        query, thresholds, and config always yield the same plan, so plans
+        can be built once in a parent process and shipped to every shard.
+        """
         validate_query(query, probability_threshold, distance_threshold)
         return self._prepare_plan(
             query, probability_threshold, distance_threshold, config
@@ -228,7 +275,12 @@ class QueryPlanner:
         config: "SearchConfig | None" = None,
         rng: RandomLike = None,
     ) -> QueryResult:
-        """Plan and execute one threshold (T-PS) query."""
+        """Plan and execute one threshold (T-PS) query.
+
+        With an int seed (or seeded generator) the result is byte-identical
+        across runs and identical to any sharded/catalog execution of the
+        same query over the same live graphs (see :meth:`execute_plan`).
+        """
         return self.execute_plan(
             self.plan(query, probability_threshold, distance_threshold, config), rng=rng
         )
@@ -267,11 +319,14 @@ class QueryPlanner:
     ) -> QueryResult:
         """The k most probable subgraph-similar graphs, best first.
 
-        Ties resolve to the smaller graph id; graphs with zero SSP are never
-        answers, so fewer than ``k`` answers may return.  The probability
-        floor tightens as verified answers fill the k-sized heap, so
-        candidates are verified in descending PMI upper-bound order and late
-        candidates prune against the running k-th best.
+        Ties resolve to the smaller (global) graph id; graphs with zero SSP
+        are never answers, so fewer than ``k`` answers may return.  The
+        probability floor tightens as verified answers fill the k-sized
+        heap, so candidates are verified in descending PMI upper-bound order
+        and late candidates prune against the running k-th best.  Under the
+        same seed the ranked list is byte-identical to the cross-shard
+        partial/replay merge (:func:`repro.core.pipeline.merge_top_k_partials`)
+        over any partition of the same live graphs.
         """
         return self.execute_plan(self.plan_top_k(query, k, distance_threshold, config), rng=rng)
 
@@ -306,7 +361,7 @@ class QueryPlanner:
             state=self._state_for(plan),
             result=QueryResult(),
         )
-        return self.pipeline.run(CandidateSet(len(self.graphs)), ctx)
+        return self.pipeline.run(self._new_candidates(), ctx)
 
     def execute_top_k_partial(self, plan: QueryPlan, rng: RandomLike = None) -> TopKPartial:
         """Run a top-k plan in shard-partial mode (see ``core.pipeline``).
@@ -334,7 +389,7 @@ class QueryPlanner:
             result=QueryResult(),
             partial=partial,
         )
-        self.pipeline.run(CandidateSet(len(self.graphs)), ctx)
+        self.pipeline.run(self._new_candidates(), ctx)
         partial.statistics = ctx.result.statistics
         return partial
 

@@ -41,6 +41,7 @@ Typical usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.planner import QueryPlanner, validate_query, validate_top_k_query
 from repro.core.pruning import PruningConfig
@@ -55,6 +56,9 @@ from repro.pmi.features import FeatureSelectionConfig
 from repro.pmi.index import ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
 from repro.utils.rng import RandomLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.catalog import GraphCatalog
 
 
 @dataclass
@@ -165,6 +169,37 @@ class ProbabilisticGraphDatabase:
     @property
     def is_indexed(self) -> bool:
         return self.planner is not None
+
+    def to_catalog(
+        self, num_shards: int = 1, max_workers: int | None = None
+    ) -> "GraphCatalog":
+        """Adopt this engine's built index as a mutable :class:`GraphCatalog`.
+
+        The catalog reuses the already-computed PMI cells and structural
+        counts (no SIP bounds are recomputed) and assigns external ids
+        ``0..N-1`` — the row positions the static build already salted its
+        RNG streams with — so the catalog's answers are byte-identical to
+        this engine's until the first mutation.  Only a sequential
+        (``num_shards=1``) build can be adopted: a sharded engine holds its
+        matrices sliced inside the shards; build the catalog directly with
+        :meth:`GraphCatalog.build` in that case.
+        """
+        from repro.core.catalog import GraphCatalog
+
+        if self.planner is None:
+            raise IndexError_("call build_index() before to_catalog()")
+        if self.pmi is None or self.structural_index is None:
+            raise IndexError_(
+                "a sharded engine holds sliced indexes; build a mutable catalog "
+                "directly with GraphCatalog.build(graphs, num_shards=...)"
+            )
+        return GraphCatalog.from_index(
+            self.graphs,
+            self.pmi,
+            self.structural_index,
+            num_shards=num_shards,
+            max_workers=max_workers,
+        )
 
     def close(self) -> None:
         """Release planner-held resources (the sharded worker pool).

@@ -102,12 +102,24 @@ def partition_ranges(num_graphs: int, num_shards: int) -> list[ShardSpec]:
 
 @dataclass
 class DatabaseShard:
-    """One shard's graphs plus its PMI and structural-index row slices."""
+    """One shard's graphs plus its PMI and structural-index row slices.
+
+    Two flavours share this container.  A *static* shard (``graph_ids is
+    None``) owns the contiguous global-id slice ``[spec.start, spec.stop)``.
+    A *catalog* shard carries explicit per-row ``graph_ids`` (stable external
+    ids, not necessarily contiguous) and an ``active_mask`` that switches
+    tombstoned storage rows off; its ``spec`` records only the shard id and
+    the live-row count.  ``pmi``/``structural_index`` may be segmented
+    base+delta views (:mod:`repro.core.catalog`) — planners only need their
+    row-read protocol.
+    """
 
     spec: ShardSpec
     graphs: list[ProbabilisticGraph]
     pmi: ProbabilisticMatrixIndex
     structural_index: StructuralFeatureIndex
+    graph_ids: np.ndarray | None = None
+    active_mask: np.ndarray | None = None
 
     def make_planner(self) -> QueryPlanner:
         """A planner whose answers and RNG salts use *global* graph ids."""
@@ -115,8 +127,29 @@ class DatabaseShard:
             self.graphs,
             self.pmi,
             self.structural_index,
-            graph_id_offset=self.spec.start,
+            graph_id_offset=self.spec.start if self.graph_ids is None else 0,
+            graph_ids=self.graph_ids,
+            active_mask=self.active_mask,
         )
+
+    def live_global_ids(self) -> np.ndarray:
+        """The global ids this shard can answer with (tombstones excluded)."""
+        if self.graph_ids is None:
+            return np.arange(self.spec.start, self.spec.stop, dtype=np.int64)
+        ids = np.asarray(self.graph_ids, dtype=np.int64)
+        if self.active_mask is None:
+            return ids
+        return ids[np.asarray(self.active_mask, dtype=bool)]
+
+
+def route_to_smallest(live_counts: list[int]) -> int:
+    """The shard index a new graph routes to: fewest live graphs, lowest
+    index on ties.  This is the catalog's ``add_graph`` placement rule; it
+    keeps shards balanced without moving existing rows (rebalancing proper
+    happens on ``compact()`` via :func:`partition_ranges`)."""
+    if not live_counts:
+        raise ValueError("cannot route into an empty shard list")
+    return int(np.argmin(np.asarray(live_counts, dtype=np.int64)))
 
 
 # ----------------------------------------------------------------------
@@ -328,22 +361,44 @@ class ShardedPlanner:
     ``max_workers`` picks the process-pool width for query fan-out
     (``None`` → ``min(num_shards, cpu_count)``); at width <= 1 shards run
     in-process, which is also the zero-dependency fallback path.
+
+    Shards come in two flavours (see :class:`DatabaseShard`): static
+    contiguous slices, validated to tile the global id space, and mutable
+    *catalog* shards carrying explicit stable ids plus a tombstone mask,
+    validated for live-id disjointness instead.  The determinism contract is
+    the same for both: answers and counters are byte-identical to a
+    sequential run over the same live graphs under the same ``rng``.
     """
 
     def __init__(self, shards: list[DatabaseShard], max_workers: int | None = None) -> None:
         if not shards:
             raise ValueError("a sharded planner needs at least one shard")
-        ordered = sorted(shards, key=lambda shard: shard.spec.start)
-        expected_start = 0
+        catalog_mode = any(shard.graph_ids is not None for shard in shards)
+        if catalog_mode and not all(shard.graph_ids is not None for shard in shards):
+            raise ValueError(
+                "cannot mix catalog shards (explicit graph_ids) with "
+                "contiguous-slice shards"
+            )
+        if catalog_mode:
+            # catalog shards own arbitrary stable-id sets: no tiling to
+            # check, but the merge invariants need the live ids disjoint
+            ordered = sorted(shards, key=lambda shard: shard.spec.shard_id)
+            all_ids = np.concatenate([shard.live_global_ids() for shard in ordered])
+            if len(np.unique(all_ids)) != len(all_ids):
+                raise ValueError("catalog shards must cover disjoint live graph ids")
+        else:
+            ordered = sorted(shards, key=lambda shard: shard.spec.start)
+            expected_start = 0
+            for shard in ordered:
+                if shard.spec.start != expected_start:
+                    raise ValueError(
+                        "shards must tile the graph-id space contiguously; "
+                        f"expected a shard starting at {expected_start}, "
+                        f"got {shard.spec!r}"
+                    )
+                expected_start = shard.spec.stop
         seen_ids: set[int] = set()
         for shard in ordered:
-            if shard.spec.start != expected_start:
-                raise ValueError(
-                    "shards must tile the graph-id space contiguously; "
-                    f"expected a shard starting at {expected_start}, "
-                    f"got {shard.spec!r}"
-                )
-            expected_start = shard.spec.stop
             # planner caches and pool tasks are keyed by shard_id
             if shard.spec.shard_id in seen_ids:
                 raise ValueError(f"duplicate shard id {shard.spec.shard_id!r}")
@@ -441,7 +496,13 @@ class ShardedPlanner:
 
     @property
     def database_size(self) -> int:
-        return self.shards[-1].spec.stop
+        """Live graphs across all shards.
+
+        For contiguous-slice shards the spec sizes tile ``range(N)`` so the
+        sum equals the static database size; for catalog shards each spec
+        size is the shard's live (non-tombstoned) row count.
+        """
+        return sum(shard.spec.size for shard in self.shards)
 
     # ------------------------------------------------------------------
     # execution
@@ -454,7 +515,12 @@ class ShardedPlanner:
         config=None,
         rng: RandomLike = None,
     ) -> QueryResult:
-        """One T-PS query, fanned out over the shards and merged."""
+        """One T-PS query, fanned out over the shards and merged.
+
+        Byte-identical (answers and counters) to the sequential
+        :meth:`QueryPlanner.execute` over the same live graphs with the same
+        ``rng`` — for any shard count, worker count, or OS scheduling.
+        """
         return self.execute_many(
             [query], probability_threshold, distance_threshold, config, rng=rng
         )[0]

@@ -55,6 +55,12 @@ class QueryError(ReproError):
     of range, distance larger than the query size, ...)."""
 
 
+class CatalogError(ReproError):
+    """Raised for invalid mutable-catalog operations: adding a live external
+    id twice, removing or updating an id that is not live, or constructing a
+    catalog from an index with no recorded build root."""
+
+
 class VerificationError(ReproError):
     """Raised when verification cannot be carried out (for example exact
     verification requested on a graph that is too large to enumerate)."""

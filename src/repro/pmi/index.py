@@ -30,15 +30,15 @@ from repro.graphs.io import labeled_graph_from_dict, labeled_graph_to_dict
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.bounds import BoundConfig, SipBounds, compute_sip_bounds
 from repro.pmi.features import Feature, FeatureMiner, FeatureSelectionConfig
-from repro.utils.rng import RandomLike, derive_rng, rng_root
+from repro.utils.rng import BUILD_STREAM, RandomLike, derive_rng, rng_root
 from repro.utils.rows import resolve_row_selector
 from repro.utils.timer import Timer
 
-# Stage tag for the per-graph build streams (see repro.utils.rng.derive_rng):
-# each graph's SIP-bound sampling draws from derive_rng(root, BUILD_STREAM,
-# global graph id), so building a row slice in a worker process yields cells
-# identical to the same rows of a sequential full build.
-BUILD_STREAM = 3
+# BUILD_STREAM (re-exported from repro.utils.rng): each graph's SIP-bound
+# sampling draws from derive_rng(root, BUILD_STREAM, stable graph id), so
+# building a row slice in a worker process — or appending a delta row to a
+# mutable catalog years later — yields cells identical to the same rows of a
+# sequential full build under the same root.
 
 PERSIST_FORMAT_VERSION = 1
 ARRAYS_FILENAME = "pmi_arrays.npz"
@@ -105,6 +105,9 @@ class ProbabilisticMatrixIndex:
         self._built = False
         self.build_seconds = 0.0
         self.database_size = 0
+        # 64-bit root of the build streams; delta appends (GraphCatalog) must
+        # reuse it so appended rows equal a from-scratch build's rows
+        self.build_root: int | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -115,15 +118,23 @@ class ProbabilisticMatrixIndex:
         features: list[Feature] | None = None,
         rng: RandomLike = None,
         graph_id_offset: int = 0,
+        graph_ids=None,
     ) -> "ProbabilisticMatrixIndex":
         """Mine features (unless provided) and fill every PMI cell.
 
         Monte-Carlo SIP-bound sampling derives one RNG stream per graph from
-        ``(rng, graph_id_offset + row)``, so a shard build over
-        ``database[start:stop]`` with ``graph_id_offset=start`` (and the
-        globally mined ``features``) produces exactly the rows a sequential
-        full build would — regardless of which worker process runs it.
+        ``(rng, BUILD_STREAM, stable graph id)``, where the stable id of row
+        ``k`` is ``graph_ids[k]`` when given and ``graph_id_offset + k``
+        otherwise.  A shard build over ``database[start:stop]`` with
+        ``graph_id_offset=start`` (and the globally mined ``features``)
+        therefore produces exactly the rows a sequential full build would —
+        regardless of which worker process runs it — and a build with
+        explicit ``graph_ids`` produces exactly the rows a
+        :class:`~repro.core.catalog.GraphCatalog` assembles for the same
+        (id → graph) mapping under the same root.
         """
+        if graph_ids is not None and graph_id_offset != 0:
+            raise IndexError_("pass graph_ids or graph_id_offset, not both")
         root = rng_root(rng)
         timer = Timer()
         with timer:
@@ -134,20 +145,139 @@ class ProbabilisticMatrixIndex:
                 self.features = list(features)
             self._index_features()
             num_graphs = len(database)
+            if graph_ids is None:
+                stable_ids = [graph_id_offset + row for row in range(num_graphs)]
+            else:
+                stable_ids = [int(gid) for gid in graph_ids]
+                if len(stable_ids) != num_graphs:
+                    raise IndexError_(
+                        f"graph_ids has {len(stable_ids)} entries for "
+                        f"{num_graphs} graphs"
+                    )
             num_features = len(self.features)
             self._allocate(num_graphs, num_features)
             for graph_id, graph in enumerate(database):
-                graph_rng = derive_rng(root, BUILD_STREAM, graph_id_offset + graph_id)
-                for column, feature in enumerate(self.features):
-                    bounds = compute_sip_bounds(
-                        feature.graph, graph, config=self.bound_config, rng=graph_rng
-                    )
-                    if not bounds.is_empty():
-                        self._store_cell(graph_id, column, feature.feature_id, bounds)
+                self._fill_row(graph_id, graph, root, stable_ids[graph_id])
         self.build_seconds = timer.elapsed
         self.database_size = len(database)
         self._built = True
+        self.build_root = root
         return self
+
+    def _fill_row(self, row: int, graph: ProbabilisticGraph, root: int, stable_id: int) -> None:
+        """Compute one graph's cells with its private BUILD_STREAM generator."""
+        graph_rng = derive_rng(root, BUILD_STREAM, stable_id)
+        for column, feature in enumerate(self.features):
+            bounds = compute_sip_bounds(
+                feature.graph, graph, config=self.bound_config, rng=graph_rng
+            )
+            if not bounds.is_empty():
+                self._store_cell(row, column, feature.feature_id, bounds)
+
+    @classmethod
+    def empty(
+        cls,
+        features: list[Feature],
+        feature_config: FeatureSelectionConfig | None = None,
+        bound_config: BoundConfig | None = None,
+    ) -> "ProbabilisticMatrixIndex":
+        """A built, zero-row index over a pinned feature set.
+
+        This is the seed of a catalog delta segment: rows arrive later via
+        :meth:`append`, one per mutation, against the same feature columns as
+        the immutable base matrix.
+        """
+        index = cls(feature_config=feature_config, bound_config=bound_config)
+        index.features = list(features)
+        index._index_features()
+        index._allocate(0, len(index.features))
+        index._built = True
+        return index
+
+    def append(
+        self, graphs: list[ProbabilisticGraph], graph_ids, rng: RandomLike = None
+    ) -> "ProbabilisticMatrixIndex":
+        """Append one row per graph, keeping the existing feature columns.
+
+        ``graph_ids[k]`` is the stable id of appended graph ``k``; its cells
+        are computed with ``derive_rng(rng, BUILD_STREAM, graph_ids[k])`` —
+        the exact generator :meth:`build` would use for that id — so an
+        append under the same root as the base build yields rows
+        byte-identical to a from-scratch build over the grown database.
+        Existing rows are never touched (append-only).
+        """
+        self._require_built()
+        stable_ids = [int(gid) for gid in graph_ids]
+        if len(stable_ids) != len(graphs):
+            raise IndexError_(
+                f"graph_ids has {len(stable_ids)} entries for {len(graphs)} graphs"
+            )
+        root = rng_root(rng)
+        old_rows = self._present.shape[0]
+        grow = len(graphs)
+        num_features = len(self.features)
+        self._lower = np.vstack([self._lower, np.zeros((grow, num_features))])
+        self._upper = np.vstack([self._upper, np.zeros((grow, num_features))])
+        self._present = np.vstack(
+            [self._present, np.zeros((grow, num_features), dtype=bool)]
+        )
+        self._num_embeddings = np.vstack(
+            [self._num_embeddings, np.zeros((grow, num_features), dtype=np.int32)]
+        )
+        self._num_cuts = np.vstack(
+            [self._num_cuts, np.zeros((grow, num_features), dtype=np.int32)]
+        )
+        for offset, graph in enumerate(graphs):
+            self._fill_row(old_rows + offset, graph, root, stable_ids[offset])
+        self.database_size = self._present.shape[0]
+        return self
+
+    @classmethod
+    def concat_rows(
+        cls, parts: list["ProbabilisticMatrixIndex"]
+    ) -> "ProbabilisticMatrixIndex":
+        """Row-stack built indexes sharing one feature set into a fresh index.
+
+        This is :meth:`~repro.core.catalog.GraphCatalog.compact`'s merge
+        step: base and delta segments (already :meth:`subset` down to their
+        live rows) become one new dense base matrix.  All parts must carry
+        identical feature lists and build configurations.
+        """
+        if not parts:
+            raise IndexError_("concat_rows() needs at least one part")
+        first = parts[0]
+        first._require_built()
+        fingerprint = [(f.feature_id, f.canonical) for f in first.features]
+        for part in parts[1:]:
+            part._require_built()
+            if (
+                [(f.feature_id, f.canonical) for f in part.features] != fingerprint
+                or part.feature_config != first.feature_config
+                or part.bound_config != first.bound_config
+            ):
+                raise IndexError_(
+                    "concat_rows() requires identical features and configs in every part"
+                )
+        merged = cls(
+            feature_config=first.feature_config, bound_config=first.bound_config
+        )
+        merged.features = list(first.features)
+        merged._index_features()
+        merged._lower = np.vstack([part._lower for part in parts])
+        merged._upper = np.vstack([part._upper for part in parts])
+        merged._present = np.vstack([part._present for part in parts])
+        merged._num_embeddings = np.vstack([part._num_embeddings for part in parts])
+        merged._num_cuts = np.vstack([part._num_cuts for part in parts])
+        merged._chosen = {}
+        row_offset = 0
+        for part in parts:
+            for (row, feature_id), chosen in part._chosen.items():
+                merged._chosen[(row + row_offset, feature_id)] = chosen
+            row_offset += part._present.shape[0]
+        merged.database_size = merged._present.shape[0]
+        merged.build_root = first.build_root
+        merged._built = True
+        return merged
 
     def _index_features(self) -> None:
         self._feature_ids = np.array(
@@ -321,6 +451,7 @@ class ProbabilisticMatrixIndex:
         }
         sub.database_size = len(ids)
         sub.build_seconds = 0.0
+        sub.build_root = self.build_root
         sub._built = True
         return sub
 
@@ -350,6 +481,7 @@ class ProbabilisticMatrixIndex:
             "version": PERSIST_FORMAT_VERSION,
             "database_size": self.database_size,
             "build_seconds": self.build_seconds,
+            "build_root": self.build_root,
             "feature_config": asdict(self.feature_config),
             "bound_config": asdict(self.bound_config),
             "features": [
@@ -422,6 +554,8 @@ class ProbabilisticMatrixIndex:
             )
         index.database_size = meta["database_size"]
         index.build_seconds = meta["build_seconds"]
+        # absent in payloads written before the mutable-catalog layer
+        index.build_root = meta.get("build_root")
         index._built = True
         return index
 

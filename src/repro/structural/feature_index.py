@@ -86,6 +86,27 @@ class StructuralFeatureIndex:
         self._built = True
         return self
 
+    def append(self, skeletons: list[LabeledGraph]) -> "StructuralFeatureIndex":
+        """Append one count row per skeleton, keeping the feature columns.
+
+        Counting is deterministic (no RNG), so an appended row always equals
+        the row a from-scratch :meth:`build` over the grown database would
+        produce.  This is the delta-segment growth path of the mutable
+        catalog; existing rows are never touched.
+        """
+        if not self._built:
+            raise ValueError("the structural feature index must be built first")
+        grown = np.zeros((len(skeletons), len(self.features)), dtype=np.int32)
+        for row, skeleton in enumerate(skeletons):
+            for column, feature in enumerate(self.features):
+                embeddings = find_embeddings(
+                    feature.graph, skeleton, limit=self.embedding_limit
+                )
+                if embeddings:
+                    grown[row, column] = len(embeddings)
+        self._counts = np.vstack([self._counts, grown])
+        return self
+
     def subset(self, graph_ids) -> "StructuralFeatureIndex":
         """A new index over the given rows of the count matrix.
 

@@ -1,9 +1,20 @@
-"""Random-number-generator helpers.
+"""Random-number-generator helpers and the per-graph stream registry.
 
 Every stochastic entry point in the library accepts either ``None`` (use a
 fresh default generator), an integer seed, or an existing
 :class:`random.Random` instance.  :func:`ensure_rng` normalizes the three
 forms so internal code always works with a ``random.Random``.
+
+**Stream derivation.**  Reproducibility across sharding, batching, and —
+since the mutable catalog — database mutation rests on one rule: every
+stochastic per-graph task draws from ``derive_rng(root, STREAM, graph_id)``
+where ``graph_id`` is the graph's *stable external id* (for a static
+database that is simply its row position), never its current row position or
+visit order.  The stream tags below are the canonical registry; modules
+re-export the ones they use.  Because streams are keyed by stable id, a
+graph keeps the same random draws when the database is sharded differently,
+mutated around it, or compacted — which is what makes catalog answers
+byte-identical to a from-scratch rebuild.
 """
 
 from __future__ import annotations
@@ -11,6 +22,13 @@ from __future__ import annotations
 import random
 
 RandomLike = random.Random | int | None
+
+# Canonical stream tags for derive_rng(root, STREAM, stable graph id).
+# PRUNE/VERIFY are consumed at query time (core.pipeline), BUILD at index
+# time (pmi.index and the catalog's delta appends).
+PRUNE_STREAM = 1
+VERIFY_STREAM = 2
+BUILD_STREAM = 3
 
 
 def ensure_rng(rng: RandomLike = None) -> random.Random:

@@ -1,0 +1,430 @@
+"""Unit and edge-case tests for the mutable GraphCatalog layer.
+
+Covers the mutation API (add/remove/update and their error paths), the
+delta/tombstone/compaction lifecycle — including the ISSUE's edge cases:
+remove-then-re-add of the same external id, compaction with an empty delta,
+querying an all-tombstoned database, and rebalancing when the requested
+shard count exceeds the live graph count — plus the low-level building
+blocks (PMI row append / concat, segmented views, shard routing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphCatalog,
+    ProbabilisticGraphDatabase,
+    SearchConfig,
+    SegmentedPmiView,
+    SegmentedStructuralView,
+    ShardedPlanner,
+    VerificationConfig,
+    route_to_smallest,
+)
+from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
+from repro.exceptions import CatalogError, IndexError_
+from repro.pmi import BoundConfig, FeatureSelectionConfig, ProbabilisticMatrixIndex
+from repro.structural.feature_index import StructuralFeatureIndex
+
+FEATURE_CONFIG = FeatureSelectionConfig(
+    alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=10
+)
+BOUND_CONFIG = BoundConfig(num_samples=40)
+SEARCH_CONFIG = SearchConfig(
+    verification=VerificationConfig(method="sampling", num_samples=80)
+)
+SEED = 20120527
+
+
+def small_database(seed: int = SEED, num_graphs: int = 8):
+    config = PPIDatasetConfig(
+        num_graphs=num_graphs,
+        num_families=2,
+        vertices_per_graph=8,
+        edges_per_graph=9,
+        motif_vertices=3,
+        motif_edges=3,
+        mean_edge_probability=0.6,
+        probability_spread=0.2,
+    )
+    return generate_ppi_database(config, rng=seed)
+
+
+@pytest.fixture(scope="module")
+def base_graphs():
+    return small_database().graphs
+
+
+@pytest.fixture(scope="module")
+def extra_graphs():
+    return small_database(seed=SEED + 1, num_graphs=6).graphs
+
+
+@pytest.fixture(scope="module")
+def query(base_graphs):
+    return extract_query(base_graphs[0].skeleton, 3, rng=SEED)
+
+
+@pytest.fixture
+def catalog(base_graphs):
+    return GraphCatalog.build(
+        base_graphs, feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=7
+    )
+
+
+def answers(result):
+    return [(a.graph_id, a.probability, a.decided_by) for a in result.answers]
+
+
+# ----------------------------------------------------------------------
+# mutation API
+# ----------------------------------------------------------------------
+class TestMutationApi:
+    def test_build_seeds_row_position_ids(self, catalog, base_graphs):
+        assert catalog.num_live == len(base_graphs)
+        assert catalog.live_external_ids() == list(range(len(base_graphs)))
+
+    def test_add_assigns_next_free_id(self, catalog, extra_graphs):
+        assert catalog.add_graph(extra_graphs[0]) == 8
+        assert catalog.add_graph(extra_graphs[1]) == 9
+        assert catalog.num_live == 10
+        assert catalog.delta_rows == 2
+
+    def test_add_with_explicit_id_advances_counter(self, catalog, extra_graphs):
+        assert catalog.add_graph(extra_graphs[0], external_id=50) == 50
+        assert catalog.add_graph(extra_graphs[1]) == 51
+
+    def test_add_live_id_rejected(self, catalog, extra_graphs):
+        with pytest.raises(CatalogError, match="live"):
+            catalog.add_graph(extra_graphs[0], external_id=3)
+
+    def test_add_invalid_id_rejected(self, catalog, extra_graphs):
+        with pytest.raises(CatalogError, match="integer"):
+            catalog.add_graph(extra_graphs[0], external_id="seven")
+        with pytest.raises(CatalogError, match=">= 0"):
+            catalog.add_graph(extra_graphs[0], external_id=-1)
+
+    def test_remove_tombstones_without_reclaiming(self, catalog):
+        catalog.remove_graph(3)
+        assert catalog.num_live == 7
+        assert catalog.tombstone_count == 1
+        assert 3 not in catalog.live_external_ids()
+
+    def test_remove_unknown_id_raises(self, catalog):
+        with pytest.raises(CatalogError, match="not live"):
+            catalog.remove_graph(99)
+        catalog.remove_graph(3)
+        with pytest.raises(CatalogError, match="not live"):
+            catalog.remove_graph(3)
+
+    def test_update_preserves_external_id(self, catalog, extra_graphs):
+        catalog.update_graph(2, extra_graphs[0])
+        assert catalog.num_live == 8
+        assert 2 in catalog.live_external_ids()
+        assert catalog.get_graph(2) is extra_graphs[0]
+        assert catalog.tombstone_count == 1
+        assert catalog.delta_rows == 1
+
+    def test_update_unknown_id_raises(self, catalog, extra_graphs):
+        with pytest.raises(CatalogError, match="not live"):
+            catalog.update_graph(99, extra_graphs[0])
+
+    def test_remove_then_readd_same_id(self, catalog, extra_graphs, query):
+        catalog.remove_graph(5)
+        assert catalog.add_graph(extra_graphs[2], external_id=5) == 5
+        assert catalog.get_graph(5) is extra_graphs[2]
+        assert catalog.num_live == 8
+        assert catalog.tombstone_count == 1  # the old row 5, awaiting compact
+        # the revived id must appear at most once in any answer list
+        result = catalog.query_top_k(
+            query, catalog.num_live, 1, config=SEARCH_CONFIG, rng=11
+        )
+        ids = [a.graph_id for a in result.answers]
+        assert len(set(ids)) == len(ids)
+
+
+# ----------------------------------------------------------------------
+# compaction lifecycle
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_compact_on_empty_delta_is_identity(self, catalog, query):
+        before = catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        assert catalog.delta_rows == 0
+        catalog.compact()
+        assert catalog.delta_rows == 0
+        assert catalog.tombstone_count == 0
+        assert catalog.num_live == 8
+        after = catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        assert answers(after) == answers(before)
+
+    def test_compact_reclaims_tombstones_and_folds_delta(
+        self, catalog, extra_graphs, query
+    ):
+        catalog.add_graph(extra_graphs[0])
+        catalog.remove_graph(1)
+        catalog.update_graph(6, extra_graphs[1])
+        before = catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        live_before = catalog.live_external_ids()
+        catalog.compact()
+        assert catalog.delta_rows == 0
+        assert catalog.tombstone_count == 0
+        assert catalog.live_external_ids() == live_before
+        after = catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        assert answers(after) == answers(before)
+
+    def test_query_all_tombstoned(self, catalog, query):
+        for external_id in catalog.live_external_ids():
+            catalog.remove_graph(external_id)
+        result = catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        assert result.answers == []
+        assert result.statistics.database_size == 0
+        top = catalog.query_top_k(query, 3, 1, config=SEARCH_CONFIG, rng=11)
+        assert top.answers == []
+
+    def test_compact_all_tombstoned_then_revive(self, catalog, extra_graphs, query):
+        for external_id in catalog.live_external_ids():
+            catalog.remove_graph(external_id)
+        catalog.compact()
+        assert catalog.num_live == 0
+        assert catalog.num_shards == 1
+        assert catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11).answers == []
+        # ids continue from the high-water mark, and querying works again
+        assert catalog.add_graph(extra_graphs[0]) == 8
+        result = catalog.query_top_k(query, 1, 1, config=SEARCH_CONFIG, rng=11)
+        assert {a.graph_id for a in result.answers} <= {8}
+
+
+# ----------------------------------------------------------------------
+# sharding: routing and rebalancing
+# ----------------------------------------------------------------------
+class TestShardedCatalog:
+    def test_route_to_smallest_prefers_lowest_index_on_ties(self):
+        assert route_to_smallest([3, 1, 1]) == 1
+        assert route_to_smallest([2, 2, 2]) == 0
+        with pytest.raises(ValueError):
+            route_to_smallest([])
+
+    def test_adds_route_to_smallest_shard(self, base_graphs, extra_graphs):
+        catalog = GraphCatalog.build(
+            base_graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7,
+            num_shards=3,
+        )
+        # 8 graphs over 3 shards -> [3, 3, 2]; adds fill the smallest first
+        assert catalog.shard_live_counts() == [3, 3, 2]
+        catalog.add_graph(extra_graphs[0])
+        assert catalog.shard_live_counts() == [3, 3, 3]
+        catalog.add_graph(extra_graphs[1])
+        assert catalog.shard_live_counts() == [4, 3, 3]
+
+    def test_rebalance_with_more_shards_than_live_graphs(
+        self, base_graphs, query
+    ):
+        catalog = GraphCatalog.build(
+            base_graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7,
+            num_shards=4,
+        )
+        sequential = GraphCatalog.build(
+            base_graphs, feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=7
+        )
+        for external_id in range(6):  # drop to 2 live graphs, K=4 requested
+            catalog.remove_graph(external_id)
+            sequential.remove_graph(external_id)
+        catalog.compact()
+        assert catalog.num_live == 2
+        assert catalog.num_shards == 2  # partition_ranges clamps K to live count
+        result = catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        expected = sequential.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        assert answers(result) == answers(expected)
+
+    def test_sharded_planner_rejects_overlapping_catalog_shards(self, base_graphs):
+        catalog = GraphCatalog.build(
+            base_graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7,
+            num_shards=2,
+        )
+        shard_a = catalog._stores[0].make_shard(0)
+        clash = catalog._stores[0].make_shard(1)  # same live ids, new shard id
+        with pytest.raises(ValueError, match="disjoint"):
+            ShardedPlanner([shard_a, clash])
+
+    def test_sharded_planner_rejects_mixed_shard_flavours(self, base_graphs):
+        catalog = GraphCatalog.build(
+            base_graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7,
+            num_shards=2,
+        )
+        static_shard = ShardedPlanner.build(
+            base_graphs,
+            num_shards=2,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7,
+        ).shards[0]
+        with pytest.raises(ValueError, match="mix"):
+            ShardedPlanner([catalog._stores[0].make_shard(0), static_shard])
+
+
+# ----------------------------------------------------------------------
+# engine adoption
+# ----------------------------------------------------------------------
+class TestEngineAdoption:
+    def test_to_catalog_answers_match_engine(self, base_graphs, query):
+        engine = ProbabilisticGraphDatabase(base_graphs).build_index(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=7
+        )
+        catalog = engine.to_catalog()
+        expected = engine.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        result = catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        assert answers(result) == answers(expected)
+
+    def test_to_catalog_requires_built_sequential_index(self, base_graphs):
+        engine = ProbabilisticGraphDatabase(base_graphs)
+        with pytest.raises(IndexError_, match="build_index"):
+            engine.to_catalog()
+        engine.build_index(
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7,
+            num_shards=2,
+        )
+        with pytest.raises(IndexError_, match="sharded"):
+            engine.to_catalog()
+        engine.close()
+
+    def test_from_index_requires_build_root(self, base_graphs):
+        pmi = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs, rng=7)
+        structural = StructuralFeatureIndex(
+            embedding_limit=FEATURE_CONFIG.embedding_limit
+        ).build([g.skeleton for g in base_graphs], pmi.features)
+        pmi.build_root = None  # simulate a pre-catalog persisted payload
+        with pytest.raises(CatalogError, match="build root"):
+            GraphCatalog.from_index(base_graphs, pmi, structural)
+
+    def test_build_root_round_trips_through_persistence(self, base_graphs, tmp_path):
+        pmi = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs, rng=7)
+        pmi.save(tmp_path)
+        loaded = ProbabilisticMatrixIndex.load(tmp_path)
+        assert loaded.build_root == pmi.build_root == 7
+
+
+# ----------------------------------------------------------------------
+# building blocks: append / concat / segmented views
+# ----------------------------------------------------------------------
+class TestBuildingBlocks:
+    def test_pmi_append_matches_scratch_build(self, base_graphs):
+        full = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs, rng=7)
+        grown = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs[:5], features=full.features, rng=7)
+        grown.append(base_graphs[5:], graph_ids=range(5, len(base_graphs)), rng=7)
+        assert grown.database_size == full.database_size
+        for graph_id in range(len(base_graphs)):
+            full_row, grown_row = full.row(graph_id), grown.row(graph_id)
+            assert np.array_equal(full_row.present, grown_row.present)
+            assert np.array_equal(full_row.lower, grown_row.lower)
+            assert np.array_equal(full_row.upper, grown_row.upper)
+
+    def test_pmi_append_validates_id_count(self, base_graphs):
+        pmi = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs[:3], rng=7)
+        with pytest.raises(IndexError_, match="entries"):
+            pmi.append(base_graphs[3:5], graph_ids=[9], rng=7)
+
+    def test_pmi_build_rejects_ids_and_offset_together(self, base_graphs):
+        pmi = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        )
+        with pytest.raises(IndexError_, match="not both"):
+            pmi.build(base_graphs[:2], rng=7, graph_id_offset=3, graph_ids=[0, 1])
+
+    def test_concat_rows_reassembles_subsets(self, base_graphs):
+        full = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs, rng=7)
+        merged = ProbabilisticMatrixIndex.concat_rows(
+            [full.subset(range(0, 3)), full.subset(range(3, len(base_graphs)))]
+        )
+        assert merged.database_size == full.database_size
+        for graph_id in range(len(base_graphs)):
+            assert full.bounds_for_graph(graph_id) == merged.bounds_for_graph(graph_id)
+
+    def test_concat_rows_rejects_mismatched_features(self, base_graphs):
+        first = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs[:4], rng=7)
+        other = ProbabilisticMatrixIndex(
+            feature_config=FeatureSelectionConfig(
+                alpha=0.1, beta=0.2, gamma=0.1, max_vertices=2, max_features=4
+            ),
+            bound_config=BOUND_CONFIG,
+        ).build(base_graphs[:4], rng=7)
+        with pytest.raises(IndexError_, match="identical features"):
+            ProbabilisticMatrixIndex.concat_rows([first, other])
+
+    def test_structural_append_matches_scratch_build(self, base_graphs):
+        pmi = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs, rng=7)
+        skeletons = [graph.skeleton for graph in base_graphs]
+        full = StructuralFeatureIndex(
+            embedding_limit=FEATURE_CONFIG.embedding_limit
+        ).build(skeletons, pmi.features)
+        grown = StructuralFeatureIndex(
+            embedding_limit=FEATURE_CONFIG.embedding_limit
+        ).build(skeletons[:5], pmi.features)
+        grown.append(skeletons[5:])
+        assert np.array_equal(grown.counts_matrix(), full.counts_matrix())
+
+    def test_segmented_views_mirror_dense_indexes(self, base_graphs, query):
+        full = ProbabilisticMatrixIndex(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+        ).build(base_graphs, rng=7)
+        base, delta = full.subset(range(0, 5)), full.subset(range(5, len(base_graphs)))
+        view = SegmentedPmiView(base, delta)
+        assert view.num_graphs == full.num_graphs
+        for graph_id in range(full.num_graphs):
+            assert np.array_equal(view.row(graph_id).lower, full.row(graph_id).lower)
+            assert view.row(graph_id).graph_id == graph_id
+
+        skeletons = [graph.skeleton for graph in base_graphs]
+        structural = StructuralFeatureIndex(
+            embedding_limit=FEATURE_CONFIG.embedding_limit
+        ).build(skeletons, full.features)
+        counts = np.asarray(structural.counts_matrix())
+        seg = SegmentedStructuralView(
+            StructuralFeatureIndex.from_counts(full.features, counts[:5]),
+            StructuralFeatureIndex.from_counts(full.features, counts[5:]),
+        )
+        assert seg.is_built
+        profile = structural.query_profile(query)
+        assert np.array_equal(
+            seg.deficit_prunable_mask(profile, 1),
+            structural.deficit_prunable_mask(profile, 1),
+        )
+
+    def test_catalog_is_a_context_manager(self, base_graphs, query):
+        with GraphCatalog.build(
+            base_graphs, feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=7
+        ) as catalog:
+            assert len(catalog) == len(base_graphs)
+            catalog.query(query, 0.2, 1, config=SEARCH_CONFIG, rng=11)
+        assert catalog._planner_cache is None
