@@ -47,8 +47,12 @@ def main() -> None:
     # 3. Extract a query workload and run a threshold query: return every
     #    graph whose probability of containing the query within distance 1
     #    is at least 0.3.
-    #    Expected: 1 answer — graph 5 (ppi-0005) with SSP ≈ 0.533, decided by
+    #    Expected: 1 answer — graph 5 (ppi-0005) with SSP ≈ 0.552, decided by
     #    verification; the structural filter prunes 11 of 12 candidates.
+    #    (The estimate is the batch verification kernel's: seeded runs are
+    #    byte-reproducible, but the kernel's canonical draw order differs
+    #    from the retired scalar sampler's, so the value moved when the
+    #    kernel landed.)
     workload = generate_query_workload(dataset.graphs, query_size=3, num_queries=1, rng=7)
     query = workload.queries()[0]
     print(f"\nquery: {query.num_vertices} vertices, {query.num_edges} edges")
@@ -65,16 +69,16 @@ def main() -> None:
     print("\npipeline statistics:")
     for key, value in result.statistics.as_dict().items():
         print(f"  {key}: {value}")
-    assert [(a.graph_id, round(a.probability, 3)) for a in result.answers] == [(5, 0.533)]
+    assert [(a.graph_id, round(a.probability, 3)) for a in result.answers] == [(5, 0.552)]
     assert result.statistics.stages[0].pruned == 11  # structural filter, 12 examined
 
     # 4. The same engine answers top-k queries: the k most probable matches,
     #    best first (no threshold to guess).
-    #    Expected: top-2 answers led by graph 5 with SSP ≈ 0.533.
+    #    Expected: top-2 answers led by graph 5 with SSP ≈ 0.552.
     top = engine.query_top_k(query, k=2, distance_threshold=1, config=config, rng=7)
     print(f"\ntop-2 answers: {[(a.graph_id, round(a.probability, 3)) for a in top.answers]}")
     assert top.answers and top.answers[0].graph_id == 5
-    assert round(top.answers[0].probability, 3) == 0.533
+    assert round(top.answers[0].probability, 3) == 0.552
 
     # 5. Need mutations?  Adopt the built index as a mutable GraphCatalog:
     #    add/remove/update graphs without rebuilding, compact when convenient.

@@ -390,11 +390,19 @@ class PmiPruningStage(PipelineStage):
 class VerificationStage(PipelineStage):
     """Stage 3 (Section 5): compute the SSP of every surviving candidate.
 
-    Threshold mode visits candidates in id order (each graph's estimate is
-    order-independent anyway, thanks to its private RNG stream) and keeps
-    those at or above ``ε``.  Top-k mode visits in descending ``usim`` order
-    so each verified answer tightens the floor against which later — lower
-    upper bound — candidates are skipped.
+    Threshold mode verifies candidate *blocks*: survivors are chunked in id
+    order and each block goes through one :meth:`~repro.core.verification.
+    Verifier.verify_block` call, where the batch kernel draws and evaluates
+    every candidate's whole sample matrix at once.  Block composition never
+    changes an estimate — each candidate's draws come from its own
+    ``derive_rng(root, VERIFY_STREAM, global id)`` stream — so a sharded run
+    (different blocks) reproduces the sequential answers byte-for-byte.
+
+    Top-k mode stays a per-candidate loop in descending ``usim`` order,
+    because each verified answer tightens the floor against which later —
+    lower upper bound — candidates are skipped; the per-candidate calls
+    still run the vectorized kernel internally, and produce the same
+    estimates the threshold blocks would (same per-graph streams).
     """
 
     name = "verification"
@@ -404,37 +412,86 @@ class VerificationStage(PipelineStage):
         self.planner = planner
 
     def run(self, candidates, ctx, stage_stats):
+        if ctx.state.is_top_k:
+            self._run_top_k(candidates, ctx, stage_stats)
+        else:
+            self._run_threshold_blocks(candidates, ctx, stage_stats)
+
+    # ------------------------------------------------------------------
+    # threshold mode: block-at-a-time through the batch kernel
+    # ------------------------------------------------------------------
+    def _run_threshold_blocks(self, candidates, ctx, stage_stats):
         plan = ctx.plan
         stats = ctx.result.statistics
         planner = self.planner
         verifier = planner._verifier_for(plan)
         active = candidates.active_ids()
-        if ctx.state.is_top_k:
-            # descending usim, ascending *global* id — the same total order
-            # replay_top_k uses, so the floor trajectory (and thus the skip
-            # pattern) is identical whether this loop runs sequentially, per
-            # shard, or over a mutated catalog's stable external ids
-            order = active[
-                np.lexsort((planner.global_ids[active], -candidates.usim[active]))
-            ]
-        else:
-            order = active
+        block_size = max(1, verifier.config.block_size)
+        answers = 0
+        for start in range(0, len(active), block_size):
+            block = [int(local_id) for local_id in active[start : start + block_size]]
+            global_ids = [int(planner.global_ids[local_id]) for local_id in block]
+            stats.verified += len(block)
+            probabilities = verifier.verify_block(
+                plan.query,
+                [planner.graphs[local_id] for local_id in block],
+                plan.distance_threshold,
+                relaxed_queries=plan.relaxed_queries,
+                rngs=[
+                    derive_rng(ctx.root, VERIFY_STREAM, global_id)
+                    for global_id in global_ids
+                ],
+            )
+            for local_id, global_id, probability in zip(
+                block, global_ids, probabilities
+            ):
+                if ctx.gather_partial:
+                    ctx.partial.estimates[global_id] = probability
+                    ctx.partial.names[global_id] = planner.graphs[local_id].name
+                    continue
+                if probability >= ctx.state.floor:
+                    ctx.result.answers.append(
+                        QueryAnswer(
+                            graph_id=global_id,
+                            graph_name=planner.graphs[local_id].name,
+                            probability=probability,
+                            decided_by="verification",
+                        )
+                    )
+                    answers += 1
+        stage_stats.accepted = answers
+        stage_stats.passed = answers
+
+    # ------------------------------------------------------------------
+    # top-k mode: floor-adaptive per-candidate loop
+    # ------------------------------------------------------------------
+    def _run_top_k(self, candidates, ctx, stage_stats):
+        plan = ctx.plan
+        stats = ctx.result.statistics
+        planner = self.planner
+        verifier = planner._verifier_for(plan)
+        active = candidates.active_ids()
+        # descending usim, ascending *global* id — the same total order
+        # replay_top_k uses, so the floor trajectory (and thus the skip
+        # pattern) is identical whether this loop runs sequentially, per
+        # shard, or over a mutated catalog's stable external ids
+        order = active[
+            np.lexsort((planner.global_ids[active], -candidates.usim[active]))
+        ]
         answers = 0
         for local_id in order:
             local_id = int(local_id)
             global_id = int(planner.global_ids[local_id])
-            if ctx.state.is_top_k and not ctx.state.admits(
-                float(candidates.usim[local_id])
-            ):
+            if not ctx.state.admits(float(candidates.usim[local_id])):
                 stage_stats.pruned += 1
                 continue
             stats.verified += 1
-            verifier.rng = derive_rng(ctx.root, VERIFY_STREAM, global_id)
             probability = verifier.subgraph_similarity_probability(
                 plan.query,
                 planner.graphs[local_id],
                 plan.distance_threshold,
                 relaxed_queries=plan.relaxed_queries,
+                rng=derive_rng(ctx.root, VERIFY_STREAM, global_id),
             )
             if ctx.gather_partial:
                 ctx.partial.estimates[global_id] = probability
@@ -446,12 +503,8 @@ class VerificationStage(PipelineStage):
                 probability=probability,
                 decided_by="verification",
             )
-            if ctx.state.is_top_k:
-                ctx.state.offer(answer)
-            elif probability >= ctx.state.floor:
-                ctx.result.answers.append(answer)
-                answers += 1
-        if ctx.state.is_top_k and not ctx.gather_partial:
+            ctx.state.offer(answer)
+        if not ctx.gather_partial:
             # offers retained mid-loop may be displaced later; the heap's
             # final fill level is the stage's true emitted-answer count
             answers = ctx.state.retained

@@ -6,12 +6,23 @@ identify ``Pr(q ⊆sim g)`` with the probability that at least one embedding of
 one relaxed query is fully present in the sampled world:
 
 * ``"sampling"`` — the paper's Algorithm 5 (Karp-Luby coverage sampler, SMP
-  in the experiments);
+  in the experiments), executed by the vectorized batch kernel
+  (:mod:`repro.probability.batch_kernel`): events compile to edge-index
+  arrays once per candidate and all samples are drawn and evaluated as
+  numpy matrices under the kernel's canonical draw order;
+* ``"sampling_scalar"`` — the same estimator evaluated one world at a time
+  (the pre-kernel reference implementation; different draws, same
+  distribution — kept for A/B tests and benchmarks);
 * ``"inclusion_exclusion"`` — exact Equation 21 over the embedding events
   (the paper's Exact method; exponential in the number of events);
 * ``"enumeration"`` — brute-force possible-world enumeration with a direct
   subgraph-distance test per world; the slowest but most literal ground
   truth, used by tests and available for tiny graphs.
+
+:meth:`Verifier.verify_block` is the block entry point the pipeline's
+verification stage uses: one call verifies a whole candidate block, with an
+explicit per-graph rng list so every estimate stays keyed on the graph's own
+``VERIFY_STREAM`` stream regardless of block composition.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from repro.graphs.possible_worlds import enumerate_possible_worlds
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.isomorphism.embeddings import find_embeddings
 from repro.isomorphism.mcs import is_subgraph_similar
+from repro.probability.batch_kernel import estimate_union_probability_batch
 from repro.probability.dnf import estimate_union_probability, exact_union_probability
 from repro.utils.rng import RandomLike, ensure_rng
 
@@ -40,6 +52,10 @@ class VerificationConfig:
     embedding_limit: int = 64
     max_exact_events: int = 18
     max_enumeration_edges: int = 18
+    # candidates per verify_block() call in the pipeline's verification
+    # stage; block composition never affects estimates (each graph keeps its
+    # own rng stream), only how work is chunked
+    block_size: int = 64
 
 
 class Verifier:
@@ -65,9 +81,16 @@ class Verifier:
         distance_threshold: int,
         relaxed_queries: list[LabeledGraph] | None = None,
         method: str | None = None,
+        rng: RandomLike = None,
     ) -> float:
-        """``Pr(q ⊆sim g)`` with the configured (or overridden) method."""
+        """``Pr(q ⊆sim g)`` with the configured (or overridden) method.
+
+        ``rng`` overrides the verifier-level generator for this one call —
+        the hook :meth:`verify_block` uses to key each candidate's draws on
+        its own per-graph stream.
+        """
         strategy = method or self.config.method
+        generator = self.rng if rng is None else ensure_rng(rng)
         if strategy == "enumeration":
             return self._by_enumeration(query, graph, distance_threshold)
         if relaxed_queries is None:
@@ -76,19 +99,64 @@ class Verifier:
         if not events:
             return 0.0
         if strategy == "sampling":
+            return estimate_union_probability_batch(
+                graph,
+                events,
+                xi=self.config.xi,
+                tau=self.config.tau,
+                num_samples=self.config.num_samples,
+                rng=generator,
+            )
+        if strategy == "sampling_scalar":
             return estimate_union_probability(
                 graph,
                 events,
                 xi=self.config.xi,
                 tau=self.config.tau,
                 num_samples=self.config.num_samples,
-                rng=self.rng,
+                rng=generator,
             )
         if strategy == "inclusion_exclusion":
             return exact_union_probability(
                 graph, events, max_events=self.config.max_exact_events
             )
         raise VerificationError(f"unknown verification method {strategy!r}")
+
+    def verify_block(
+        self,
+        query: LabeledGraph,
+        graphs: list[ProbabilisticGraph],
+        distance_threshold: int,
+        relaxed_queries: list[LabeledGraph] | None = None,
+        method: str | None = None,
+        rngs: list | None = None,
+    ) -> list[float]:
+        """SSP estimates for a whole candidate block.
+
+        Query relaxation happens once for the block; each candidate then
+        runs the configured method with its own entry of ``rngs`` (the
+        pipeline passes ``derive_rng(root, VERIFY_STREAM, global id)`` per
+        graph), so estimates are independent of block composition and block
+        size — a sharded or re-chunked execution reproduces them exactly.
+        Under ``method="sampling"`` each candidate's events are compiled to
+        index arrays and all its samples are drawn and evaluated as one
+        matrix batch by the kernel.
+        """
+        if relaxed_queries is None:
+            relaxed_queries = relax_query(query, distance_threshold, self.relaxation)
+        if rngs is None:
+            rngs = [None] * len(graphs)
+        return [
+            self.subgraph_similarity_probability(
+                query,
+                graph,
+                distance_threshold,
+                relaxed_queries=relaxed_queries,
+                method=method,
+                rng=rng,
+            )
+            for graph, rng in zip(graphs, rngs, strict=True)
+        ]
 
     def matches(
         self,

@@ -6,13 +6,21 @@ from repro.probability.jpt import JointProbabilityTable
 from repro.probability.junction_tree import VariableEliminationEngine
 from repro.probability.sampling import monte_carlo_sample_size, WorldSampler
 from repro.probability.dnf import estimate_union_probability, exact_union_probability
+from repro.probability.batch_kernel import (
+    BatchWorldSampler,
+    compile_world_model,
+    estimate_union_probability_batch,
+)
 
 __all__ = [
     "Factor",
     "JointProbabilityTable",
     "VariableEliminationEngine",
     "WorldSampler",
+    "BatchWorldSampler",
+    "compile_world_model",
     "monte_carlo_sample_size",
     "estimate_union_probability",
+    "estimate_union_probability_batch",
     "exact_union_probability",
 ]

@@ -1,0 +1,519 @@
+"""The vectorized batch verification kernel: array-at-a-time possible-world
+sampling and the batched Karp-Luby coverage estimator.
+
+The scalar pipeline (``probability.sampling.WorldSampler`` driving
+``probability.dnf.estimate_union_probability``) evaluates one world at a
+time: every sample builds a Python dict, conditions joint probability tables
+through ``Factor.condition``, and tests events with frozenset containment.
+This module restructures that inner loop into numpy kernels:
+
+* :func:`compile_world_model` compiles a graph once into integer edge-index
+  arrays plus per-factor probability tables
+  (:class:`CompiledWorldModel` / :class:`CompiledFactor`);
+* :class:`BatchWorldSampler` draws an ``S x E`` edge-presence matrix in one
+  shot — a single uniform matrix compare on the independent-edge fast path,
+  and a per-factor categorical draw (grouped by the conditioning pattern of
+  already-assigned overlap/evidence edges) on the correlated path;
+* :func:`estimate_union_probability_batch` runs Algorithm 5's Karp-Luby
+  coverage estimator over those matrices: one vectorized weighted event
+  choice for all samples, one conditioned world batch per chosen event, and
+  a boolean matrix product for the canonical-clause coverage test.
+
+**Determinism contract.**  The kernel defines one *canonical draw order*
+anchored on the caller's ``random.Random`` stream (in the query pipeline:
+``derive_rng(root, VERIFY_STREAM, global graph id)``): the stream is
+collapsed into a numpy ``Generator`` via :func:`repro.utils.rng.numpy_generator`,
+event picks are drawn first as one array, then conditioned world batches are
+drawn per chosen event in ascending event order, walking factors in graph
+order and conditioning patterns in ascending code order.  Every step is a
+pure function of the generator and the (graph, events) pair — never of
+frozenset iteration order, shard layout, block composition, or how many
+candidates ran before — so a graph's estimate is byte-identical across
+sequential, sharded, top-k-replay, and catalog executions.
+
+The canonical order is *not* the scalar sampler's interleaved order, so
+batched estimates differ (both unbiased) from ``method="sampling_scalar"``.
+For testing, ``scalar_replay=True`` generates the uniforms in the scalar
+sampler's exact interleaved order (and conditions through the same
+``Factor.condition`` code path) before evaluating vectorized, reproducing
+``estimate_union_probability`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.exceptions import ProbabilityError
+from repro.probability.dnf import _bisect, normalize_events
+from repro.probability.junction_tree import VariableEliminationEngine
+from repro.probability.sampling import (
+    DEFAULT_TAU,
+    DEFAULT_XI,
+    monte_carlo_sample_size,
+)
+from repro.utils.rng import RandomLike, ensure_rng, numpy_generator
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.graphs.probabilistic_graph import ProbabilisticGraph
+
+__all__ = [
+    "BatchWorldSampler",
+    "CompiledFactor",
+    "CompiledWorldModel",
+    "compile_events",
+    "compile_world_model",
+    "estimate_union_probability_batch",
+]
+
+# Widest factor for which the independent-product structure test enumerates
+# the full assignment grid; wider factors always take the general path.
+_MAX_PRODUCT_CHECK_WIDTH = 12
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledFactor:
+    """One neighbor-edge factor, flattened into arrays.
+
+    ``positions`` maps the factor's edges (in ``factor.edges`` order) to
+    columns of the model's presence matrix; ``assignments``/``values`` list
+    the JPT's non-zero entries in table insertion order, which is also the
+    order the scalar ``Factor.sample`` walks — keeping the two samplers
+    interchangeable for the replay mode.
+    """
+
+    positions: np.ndarray  # (w,) int64 — model column of each factor edge
+    assignments: np.ndarray  # (n_entries, w) uint8, table insertion order
+    values: np.ndarray  # (n_entries,) float64
+    cumulative: np.ndarray  # (n_entries,) float64 running sum of values
+    # conditional-distribution cache: (fixed local slots, pattern code) ->
+    # (entry indices, cumulative values, total mass)
+    _conditionals: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def width(self) -> int:
+        return int(self.positions.size)
+
+    def conditional(
+        self, fixed_local: tuple[int, ...], code: int
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Entries compatible with the fixed slots taking the code's bits.
+
+        ``fixed_local`` holds slot indices into this factor's edge tuple and
+        ``code`` packs their 0/1 values (slot ``j`` in bit ``j``).  Raises
+        :class:`ProbabilityError` on zero conditional mass, mirroring the
+        scalar sampler.
+        """
+        key = (fixed_local, code)
+        cached = self._conditionals.get(key)
+        if cached is not None:
+            return cached
+        slots = np.array(fixed_local, dtype=np.int64)
+        bits = (code >> np.arange(len(fixed_local), dtype=np.int64)) & 1
+        keep = np.flatnonzero((self.assignments[:, slots] == bits).all(axis=1))
+        values = self.values[keep]
+        total = float(values.sum())
+        if total <= 0.0:
+            raise ProbabilityError(
+                f"conditioning pattern {bits.tolist()!r} on factor slots "
+                f"{fixed_local!r} has zero probability mass"
+            )
+        result = (keep, np.cumsum(values), total)
+        self._conditionals[key] = result
+        return result
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledWorldModel:
+    """A probabilistic graph compiled for array-at-a-time world sampling."""
+
+    edges: tuple  # canonical edge-key order (graph.edge_variables())
+    index: dict  # EdgeKey -> column
+    factors: tuple  # CompiledFactor per graph factor, in graph order
+    marginals: np.ndarray | None  # (E,) — set iff the fast path is valid
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def is_independent(self) -> bool:
+        """True when the graph partitions into product-form factors."""
+        return self.marginals is not None
+
+    def columns(self, keys) -> np.ndarray:
+        """Ascending column indices of an edge-key collection."""
+        return np.array(sorted(self.index[key] for key in keys), dtype=np.int64)
+
+
+_MODEL_CACHE: "WeakKeyDictionary[ProbabilisticGraph, CompiledWorldModel]" = (
+    WeakKeyDictionary()
+)
+
+
+def compile_world_model(
+    graph: "ProbabilisticGraph", allow_fast_path: bool = True
+) -> CompiledWorldModel:
+    """Compile (and cache) a graph's factors into the kernel representation.
+
+    Compilation happens once per graph per process; repeated verification of
+    the same candidate (different queries, different events) reuses the
+    arrays.  ``allow_fast_path=False`` forces the general factor-conditioned
+    sampler even for independent-product graphs (used by tests to exercise
+    both paths on the same input).
+    """
+    if allow_fast_path:
+        cached = _MODEL_CACHE.get(graph)
+        if cached is not None:
+            return cached
+    edges = tuple(graph.edge_variables())
+    index = {key: column for column, key in enumerate(edges)}
+    compiled = []
+    for factor in graph.factors:
+        entries = list(factor.jpt.table.items())
+        assignments = np.array([a for a, _ in entries], dtype=np.uint8)
+        values = np.array([v for _, v in entries], dtype=np.float64)
+        compiled.append(
+            CompiledFactor(
+                positions=np.array([index[e] for e in factor.edges], dtype=np.int64),
+                assignments=assignments,
+                values=values,
+                cumulative=np.cumsum(values),
+            )
+        )
+    marginals = None
+    if allow_fast_path and graph.is_edge_partition():
+        marginals = _independent_marginals(compiled, len(edges))
+    model = CompiledWorldModel(
+        edges=edges, index=index, factors=tuple(compiled), marginals=marginals
+    )
+    if allow_fast_path:
+        _MODEL_CACHE[graph] = model
+    return model
+
+
+def _independent_marginals(
+    factors: list[CompiledFactor], num_edges: int
+) -> np.ndarray | None:
+    """Per-edge marginals when every factor is an independent product table."""
+    marginals = np.empty(num_edges, dtype=np.float64)
+    for cf in factors:
+        w = cf.width
+        if w > _MAX_PRODUCT_CHECK_WIDTH:
+            return None
+        total = float(cf.values.sum())
+        p = (cf.values @ cf.assignments) / total  # marginal P(edge = 1) per slot
+        codes = cf.assignments @ (1 << np.arange(w, dtype=np.int64))
+        dense = np.zeros(1 << w, dtype=np.float64)
+        dense[codes] = cf.values / total
+        grid = (np.arange(1 << w)[:, None] >> np.arange(w)) & 1
+        expected = np.where(grid == 1, p, 1.0 - p).prod(axis=1)
+        if not np.allclose(dense, expected, rtol=1e-9, atol=1e-12):
+            return None
+        marginals[cf.positions] = p
+    return marginals
+
+
+class BatchWorldSampler:
+    """Draws many possible worlds of one graph as an ``S x E`` boolean matrix.
+
+    The vectorized counterpart of :class:`~repro.probability.sampling.
+    WorldSampler`: independent-product graphs take one uniform-matrix
+    compare; correlated graphs walk factors in graph order, condition each
+    JPT on the already-assigned overlap/evidence columns, and draw each
+    conditioning-pattern group with one categorical batch.  The draw order
+    is canonical (see the module docstring), so equal generators yield equal
+    matrices in every process.
+    """
+
+    def __init__(self, source) -> None:
+        if isinstance(source, CompiledWorldModel):
+            self.model = source
+        else:
+            self.model = compile_world_model(source)
+
+    def sample_presence(
+        self,
+        generator: np.random.Generator,
+        num_samples: int,
+        evidence=None,
+    ) -> np.ndarray:
+        """``(num_samples, num_edges)`` boolean edge-presence matrix.
+
+        ``evidence`` maps edge keys to forced 0/1 values (the Karp-Luby
+        conditioning step passes the chosen event's edges as 1).  Raises
+        :class:`ProbabilityError` when the evidence is impossible under some
+        factor, mirroring the scalar sampler.
+        """
+        model = self.model
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be >= 0, got {num_samples!r}")
+        ev_cols, ev_vals = _evidence_arrays(model, evidence)
+        if model.is_independent:
+            return self._sample_independent(generator, num_samples, ev_cols, ev_vals)
+        return self._sample_general(generator, num_samples, ev_cols, ev_vals)
+
+    # ------------------------------------------------------------------
+    # fast path: every factor is a product of per-edge Bernoullis
+    # ------------------------------------------------------------------
+    def _sample_independent(self, generator, num_samples, ev_cols, ev_vals):
+        marginals = self.model.marginals
+        impossible = (marginals[ev_cols] <= 0.0) & (ev_vals == 1)
+        impossible |= (marginals[ev_cols] >= 1.0) & (ev_vals == 0)
+        if impossible.any():
+            column = int(ev_cols[np.flatnonzero(impossible)[0]])
+            raise ProbabilityError(
+                f"evidence on edge {self.model.edges[column]!r} has zero probability"
+            )
+        present = generator.random((num_samples, self.model.num_edges)) < marginals
+        present[:, ev_cols] = ev_vals.astype(bool)
+        return present
+
+    # ------------------------------------------------------------------
+    # general path: factor-conditioned categorical batches
+    # ------------------------------------------------------------------
+    def _sample_general(self, generator, num_samples, ev_cols, ev_vals):
+        model = self.model
+        worlds = np.zeros((num_samples, model.num_edges), dtype=np.uint8)
+        worlds[:, ev_cols] = ev_vals
+        assigned = np.zeros(model.num_edges, dtype=bool)
+        assigned[ev_cols] = True
+        for cf in model.factors:
+            fixed_slots = np.flatnonzero(assigned[cf.positions])
+            pending_slots = np.flatnonzero(~assigned[cf.positions])
+            if pending_slots.size == 0:
+                continue
+            pending_cols = cf.positions[pending_slots]
+            if fixed_slots.size == 0:
+                picks = generator.random(num_samples) * cf.cumulative[-1]
+                entry = _categorical(cf.cumulative, picks)
+                worlds[:, pending_cols] = cf.assignments[entry][:, pending_slots]
+            else:
+                fixed_key = tuple(int(slot) for slot in fixed_slots)
+                patterns = worlds[:, cf.positions[fixed_slots]].astype(np.int64)
+                codes = patterns @ (1 << np.arange(fixed_slots.size, dtype=np.int64))
+                for code in np.unique(codes):
+                    rows = np.flatnonzero(codes == code)
+                    keep, cumulative, total = cf.conditional(fixed_key, int(code))
+                    picks = generator.random(rows.size) * total
+                    entry = keep[_categorical(cumulative, picks)]
+                    worlds[np.ix_(rows, pending_cols)] = cf.assignments[entry][
+                        :, pending_slots
+                    ]
+            assigned[cf.positions] = True
+        return worlds.astype(bool)
+
+
+def _evidence_arrays(model: CompiledWorldModel, evidence):
+    """Evidence as (ascending column array, value array) — order-canonical."""
+    if not evidence:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.uint8)
+    pairs = sorted((model.index[key], int(value)) for key, value in evidence.items())
+    if any(value not in (0, 1) for _, value in pairs):
+        raise ProbabilityError(f"evidence values must be 0/1, got {dict(evidence)!r}")
+    cols = np.array([column for column, _ in pairs], dtype=np.int64)
+    vals = np.array([value for _, value in pairs], dtype=np.uint8)
+    return cols, vals
+
+
+def _categorical(cumulative: np.ndarray, picks: np.ndarray) -> np.ndarray:
+    """First index with ``cumulative >= pick`` — ``Factor.sample`` semantics."""
+    return np.minimum(
+        np.searchsorted(cumulative, picks, side="left"), cumulative.size - 1
+    )
+
+
+# ----------------------------------------------------------------------
+# the batched Karp-Luby coverage estimator (Algorithm 5)
+# ----------------------------------------------------------------------
+def compile_events(model: CompiledWorldModel, events) -> np.ndarray:
+    """Events as an ``(m, E)`` boolean requirement matrix over model columns."""
+    required = np.zeros((len(events), model.num_edges), dtype=bool)
+    for row, event in enumerate(events):
+        for key in event:
+            required[row, model.index[key]] = True
+    return required
+
+
+def estimate_union_probability_batch(
+    graph: "ProbabilisticGraph",
+    events,
+    xi: float = DEFAULT_XI,
+    tau: float = DEFAULT_TAU,
+    num_samples: int | None = None,
+    rng: RandomLike = None,
+    scalar_replay: bool = False,
+) -> float:
+    """Batched Karp-Luby coverage estimate of the union probability.
+
+    The drop-in vectorized counterpart of :func:`repro.probability.dnf.
+    estimate_union_probability`: same inputs, same unbiased ``V * Cnt / N``
+    estimator, same [0, 1] clamp — but every per-sample step is an array
+    operation and the draw order is the kernel's canonical one (module
+    docstring).  With ``scalar_replay=True`` the uniforms are generated in
+    the scalar sampler's interleaved order instead, reproducing its output
+    bit-for-bit (testing hook; slower, still vectorized evaluation).
+    """
+    clean = normalize_events(events)
+    if not clean:
+        return 0.0
+    generator = ensure_rng(rng)
+    engine = VariableEliminationEngine(graph)
+    weights = [engine.probability_all_present(event) for event in clean]
+    total_weight = sum(weights)
+    if total_weight <= 0.0:
+        return 0.0
+    n = num_samples if num_samples is not None else monte_carlo_sample_size(xi, tau)
+    model = compile_world_model(graph)
+    required = compile_events(model, clean)
+
+    if scalar_replay:
+        count = _count_scalar_replay(
+            graph, model, clean, required, weights, total_weight, n, generator
+        )
+    else:
+        count = _count_canonical(
+            model, clean, required, weights, total_weight, n, generator
+        )
+    estimate = total_weight * count / n
+    return min(1.0, max(0.0, estimate))
+
+
+def _coverage_count(worlds: np.ndarray, required: np.ndarray, event_index: int) -> int:
+    """Samples counting for ``event_index``: no earlier event fully present.
+
+    ``(~worlds) @ required[:i].T`` is a boolean matrix product: entry
+    ``(s, j)`` is True iff some edge event ``j`` requires is absent in world
+    ``s`` — so event ``j`` covers world ``s`` exactly when the entry is
+    False (the canonical-clause check of Algorithm 5, vectorized).
+    """
+    if event_index == 0:
+        return int(worlds.shape[0])
+    missing_any = ~worlds @ required[:event_index].T
+    covered_by_earlier = ~missing_any
+    return int(worlds.shape[0] - covered_by_earlier.any(axis=1).sum())
+
+
+def _count_canonical(model, clean, required, weights, total_weight, n, generator):
+    """Canonical draw order: event picks first, then per-event world batches."""
+    np_generator = numpy_generator(generator)
+    cumulative = np.cumsum(np.asarray(weights, dtype=np.float64))
+    picks = np_generator.random(n) * total_weight
+    chosen = _categorical(cumulative, picks)
+    sampler = BatchWorldSampler(model)
+    count = 0
+    for event_index in np.unique(chosen):
+        event_index = int(event_index)
+        group = int((chosen == event_index).sum())
+        evidence = {key: 1 for key in clean[event_index]}
+        worlds = sampler.sample_presence(np_generator, group, evidence)
+        count += _coverage_count(worlds, required, event_index)
+    return count
+
+
+def _count_scalar_replay(
+    graph, model, clean, required, weights, total_weight, n, generator
+):
+    """Generate uniforms in the scalar sampler's exact interleaved order.
+
+    Per sample the scalar path draws one event pick, then one uniform per
+    factor that still has unassigned edges given the chosen event's evidence
+    — a consumption pattern that depends only on the event.  Replaying it
+    means one cheap Python pass to collect the uniforms, after which worlds
+    are evaluated with the same vectorized machinery as the canonical mode,
+    conditioning through the original ``Factor.condition`` objects so every
+    float matches the scalar estimator bit-for-bit.
+    """
+    cumulative: list[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    consuming_factors = [_consuming_factors(graph, event) for event in clean]
+    chosen = np.empty(n, dtype=np.int64)
+    factor_uniforms = np.full((len(graph.factors), n), np.nan)
+    for sample in range(n):
+        pick = generator.random() * total_weight
+        event_index = _bisect(cumulative, pick)
+        chosen[sample] = event_index
+        for factor_position in consuming_factors[event_index]:
+            factor_uniforms[factor_position, sample] = generator.random()
+    count = 0
+    for event_index in np.unique(chosen):
+        event_index = int(event_index)
+        rows = np.flatnonzero(chosen == event_index)
+        worlds = _replay_worlds(
+            graph, model, clean[event_index], factor_uniforms[:, rows]
+        )
+        count += _coverage_count(worlds, required, event_index)
+    return count
+
+
+def _consuming_factors(graph, event) -> list[int]:
+    """Factor positions that draw one uniform per sample for this event."""
+    assigned = set(event)
+    consuming = []
+    for position, factor in enumerate(graph.factors):
+        if any(key not in assigned for key in factor.edges):
+            consuming.append(position)
+            assigned.update(factor.edges)
+    return consuming
+
+
+def _replay_worlds(graph, model, event, uniforms) -> np.ndarray:
+    """Worlds for one event group from pre-collected scalar-order uniforms.
+
+    ``uniforms[f, s]`` is the uniform the scalar sampler would feed
+    ``Factor.sample`` for factor ``f`` of (local) sample ``s``; conditional
+    tables are built by the very ``Factor.condition`` call the scalar path
+    uses, so entry order, partial sums, and tie behaviour are identical.
+    """
+    group = uniforms.shape[1]
+    worlds = np.zeros((group, model.num_edges), dtype=np.uint8)
+    worlds[:, model.columns(event)] = 1
+    assigned = set(event)
+    for position, factor in enumerate(graph.factors):
+        fixed_keys = [key for key in factor.edges if key in assigned]
+        pending = [key for key in factor.edges if key not in assigned]
+        if not pending:
+            continue
+        group_uniforms = uniforms[position]
+        if fixed_keys:
+            fixed_cols = np.array([model.index[key] for key in fixed_keys])
+            patterns = worlds[:, fixed_cols].astype(np.int64)
+            codes = patterns @ (1 << np.arange(len(fixed_keys), dtype=np.int64))
+            for code in np.unique(codes):
+                rows = np.flatnonzero(codes == code)
+                fixed = {
+                    key: int((int(code) >> slot) & 1)
+                    for slot, key in enumerate(fixed_keys)
+                }
+                conditional = factor.jpt.condition(fixed)
+                if conditional.total() <= 0:
+                    raise ProbabilityError(
+                        f"evidence {fixed!r} has zero probability under factor "
+                        f"{factor.edges!r}"
+                    )
+                _scatter_factor_draws(
+                    worlds, model, conditional, rows, group_uniforms[rows]
+                )
+        else:
+            rows = np.arange(group)
+            _scatter_factor_draws(worlds, model, factor.jpt, rows, group_uniforms)
+        assigned.update(factor.edges)
+    return worlds.astype(bool)
+
+
+def _scatter_factor_draws(worlds, model, conditional, rows, uniforms) -> None:
+    """Vectorized ``Factor.sample`` over one (factor, pattern) sample group."""
+    entries = list(conditional.table.items())
+    values = np.array([value for _, value in entries], dtype=np.float64)
+    cumulative = np.cumsum(values)
+    picks = uniforms * conditional.total()
+    entry = _categorical(cumulative, picks)
+    assignment_rows = np.array([a for a, _ in entries], dtype=np.uint8)
+    columns = np.array([model.index[v] for v in conditional.variables], dtype=np.int64)
+    worlds[np.ix_(rows, columns)] = assignment_rows[entry]

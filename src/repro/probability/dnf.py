@@ -14,6 +14,12 @@ must all be present in the sampled world.
   Algorithm 5 instantiates.  The paper's pseudo-code returns ``Cnt/N``; the
   unbiased coverage estimator is ``V * Cnt / N`` with ``V = Σ Pr(Bfi)``, which
   is what this function returns (clamped to [0, 1]); see DESIGN.md §4.
+
+The estimator here is the *scalar reference implementation* (one world at a
+time; ``method="sampling_scalar"`` in :class:`~repro.core.verification.
+VerificationConfig`).  The production path is the vectorized batch kernel in
+:mod:`repro.probability.batch_kernel`, whose ``scalar_replay`` mode
+reproduces this function bit-for-bit from the same rng.
 """
 
 from __future__ import annotations
@@ -39,6 +45,38 @@ Event = frozenset  # frozenset[EdgeKey]
 DEFAULT_EXACT_EVENT_LIMIT = 20
 
 
+def _vertex_sort_key(vertex) -> tuple:
+    """Total order over vertex ids of mixed types (class name, then value).
+
+    Mirrors :func:`repro.graphs.labeled_graph.edge_key`: hashable-but-
+    unorderable vertex ids fall back to comparing their ``repr`` (the
+    discriminator slot keeps orderable and fallback keys from ever being
+    compared value-against-repr).
+    """
+    try:
+        vertex < vertex  # orderability probe  # noqa: B015
+        return (type(vertex).__name__, 0, vertex)
+    except TypeError:
+        return (type(vertex).__name__, 1, repr(vertex))
+
+
+def _edge_sort_key(edge) -> tuple:
+    """Canonical sort key of one edge key: its vertices' sort keys in order."""
+    return tuple(_vertex_sort_key(vertex) for vertex in edge)
+
+
+def canonical_event_key(event) -> tuple:
+    """Canonical sort key of one event: (size, sorted edge-key tuple).
+
+    Built from the edge keys' own values — never from ``repr`` strings, whose
+    formatting is not part of any contract — so the estimator's event order
+    (and therefore its draw sequence under a fixed seed) is pinned by graph
+    structure alone.
+    """
+    edges = sorted(event, key=_edge_sort_key)
+    return (len(edges), tuple(_edge_sort_key(edge) for edge in edges))
+
+
 def normalize_events(events: list[frozenset | set]) -> list[Event]:
     """Deduplicate events and drop ones absorbed by a weaker event.
 
@@ -47,23 +85,36 @@ def normalize_events(events: list[frozenset | set]) -> list[Event]:
     disjunction A ∨ B collapses to A.  Supersets are therefore dropped, which
     keeps both the exact and the sampled estimators cheaper without changing
     the union probability.  Empty events are dropped too (the caller treats
-    "no events" as probability zero).
+    "no events" as probability zero).  The surviving events come back in
+    :func:`canonical_event_key` order, which both estimators (scalar and
+    batched) treat as the clause order of Algorithm 5.
     """
     unique = {Event(e) for e in events if e}
     kept: list[Event] = []
-    for event in sorted(unique, key=lambda e: (len(e), repr(sorted(e, key=repr)))):
+    for event in sorted(unique, key=canonical_event_key):
         if any(existing <= event for existing in kept):
             continue
         kept.append(event)
     return kept
 
 
+DEFAULT_EXACT_TOLERANCE = 1e-6
+
+
 def exact_union_probability(
     graph: ProbabilisticGraph,
     events: list[frozenset | set],
     max_events: int = DEFAULT_EXACT_EVENT_LIMIT,
+    tolerance: float = DEFAULT_EXACT_TOLERANCE,
 ) -> float:
-    """``Pr(∨_i  all edges of event_i present)`` by inclusion-exclusion."""
+    """``Pr(∨_i  all edges of event_i present)`` by inclusion-exclusion.
+
+    A correct inclusion-exclusion total is a probability; floating-point
+    cancellation may push it a hair outside [0, 1], which the return value
+    clamps away.  A total outside ``[-tolerance, 1 + tolerance]``, however,
+    signals a sign or term-enumeration bug (or inconsistent factor tables)
+    and raises :class:`VerificationError` instead of being silently clamped.
+    """
     clean = normalize_events(events)
     if not clean:
         return 0.0
@@ -81,6 +132,11 @@ def exact_union_probability(
             for event in subset:
                 union_edges.update(event)
             total += sign * engine.probability_all_present(union_edges)
+    if total < -tolerance or total > 1.0 + tolerance:
+        raise VerificationError(
+            f"inclusion-exclusion total {total!r} leaves [0, 1] by more than "
+            f"{tolerance!r}; the event terms cancel inconsistently"
+        )
     return min(1.0, max(0.0, total))
 
 

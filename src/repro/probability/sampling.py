@@ -29,14 +29,16 @@ DEFAULT_TAU = 0.1
 def monte_carlo_sample_size(xi: float = DEFAULT_XI, tau: float = DEFAULT_TAU) -> int:
     """The paper's cycling number ``m = (4 ln(2/ξ)) / τ²``.
 
-    ``ξ`` bounds the failure probability and ``τ`` the relative error of the
-    estimator (Monte-Carlo theory, [26]).  Both must be in (0, 1) for ξ and
-    positive for τ.
+    ``ξ`` bounds the failure probability and must be in (0, 1); ``τ`` is the
+    *relative error* of the estimator (Monte-Carlo theory, [26]) and must be
+    in (0, 1] — a relative error above 1 is meaningless for a probability
+    and silently degenerated into a 1-sample estimate before this check
+    existed.
     """
     if not 0.0 < xi < 1.0:
         raise ValueError(f"xi must be in (0, 1), got {xi!r}")
-    if tau <= 0.0:
-        raise ValueError(f"tau must be > 0, got {tau!r}")
+    if not 0.0 < tau <= 1.0:
+        raise ValueError(f"tau must be in (0, 1], got {tau!r}")
     return max(1, math.ceil((4.0 * math.log(2.0 / xi)) / (tau * tau)))
 
 

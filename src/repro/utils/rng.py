@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 RandomLike = random.Random | int | None
 
 # Canonical stream tags for derive_rng(root, STREAM, stable graph id).
@@ -102,6 +104,20 @@ def derive_seed(root: int, *salts: int) -> int:
 def derive_rng(root: int, *salts: int) -> random.Random:
     """A fresh generator for the sub-stream ``(root, salts)``."""
     return random.Random(derive_seed(root, *salts))
+
+
+def numpy_generator(rng: RandomLike = None) -> np.random.Generator:
+    """One canonical numpy :class:`~numpy.random.Generator` from a stream.
+
+    Consumes exactly one 64-bit draw from ``rng`` (after :func:`ensure_rng`
+    normalization) and seeds a PCG64 generator with it.  This is how the
+    batch verification kernel anchors its vectorized draw order on the same
+    per-graph streams (``derive_rng(root, VERIFY_STREAM, stable graph id)``)
+    the scalar pipeline uses: equal streams yield equal generators, and
+    therefore equal sample matrices, in every process and execution
+    strategy.
+    """
+    return np.random.Generator(np.random.PCG64(ensure_rng(rng).getrandbits(64)))
 
 
 def spawn_rng(rng: random.Random, salt: int = 0) -> random.Random:

@@ -1,0 +1,382 @@
+"""Tests for the vectorized batch verification kernel.
+
+Three layers of evidence that the kernel computes the same estimator as the
+scalar reference (``probability.dnf.estimate_union_probability``):
+
+* **bit-exact replay** — with ``scalar_replay=True`` the kernel generates
+  its uniforms in the scalar sampler's interleaved order and must reproduce
+  the scalar estimate *exactly*, seed for seed (property-tested over random
+  edge probabilities and event sets);
+* **statistical agreement** — in canonical mode the draws differ, so the
+  batched estimate must agree with the exact inclusion-exclusion value (and
+  with the scalar estimate) within the Monte-Carlo tolerance implied by the
+  sample count;
+* **determinism** — equal rng streams give byte-identical estimates and
+  byte-identical sample matrices, independent of compile caching or which
+  code path (fast independent vs general factor-conditioned) is forced.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProbabilityError
+from repro.graphs import LabeledGraph, ProbabilisticGraph
+from repro.probability import (
+    BatchWorldSampler,
+    compile_world_model,
+    estimate_union_probability,
+    estimate_union_probability_batch,
+    exact_union_probability,
+)
+from repro.probability.batch_kernel import compile_events
+from repro.utils.rng import numpy_generator
+
+from tests.conftest import make_simple_probabilistic_graph
+
+
+def two_event_list(graph):
+    edges = graph.edge_variables()
+    return [{edges[0]}, {edges[1], edges[2]}]
+
+
+class TestCompiledModel:
+    def test_independent_graph_takes_fast_path(self):
+        graph = make_simple_probabilistic_graph(edge_probability=0.4)
+        model = compile_world_model(graph)
+        assert model.is_independent
+        assert model.marginals == pytest.approx([0.4] * graph.num_edges)
+
+    def test_correlated_graph_takes_general_path(self, triangle_graph_001):
+        model = compile_world_model(triangle_graph_001)
+        assert not model.is_independent
+
+    def test_model_is_cached_per_graph(self):
+        graph = make_simple_probabilistic_graph()
+        assert compile_world_model(graph) is compile_world_model(graph)
+
+    def test_fast_path_opt_out_is_not_cached(self):
+        graph = make_simple_probabilistic_graph()
+        general = compile_world_model(graph, allow_fast_path=False)
+        assert not general.is_independent
+        assert compile_world_model(graph) is not general
+
+    def test_compile_events_requirement_matrix(self, triangle_graph_001):
+        model = compile_world_model(triangle_graph_001)
+        events = [frozenset({model.edges[0], model.edges[2]})]
+        required = compile_events(model, events)
+        assert required.shape == (1, model.num_edges)
+        assert required[0].tolist() == [True, False, True]
+
+
+class TestBatchWorldSampler:
+    def test_presence_matrix_shape_and_dtype(self, overlap_graph_002):
+        sampler = BatchWorldSampler(overlap_graph_002)
+        worlds = sampler.sample_presence(numpy_generator(1), 50)
+        assert worlds.shape == (50, overlap_graph_002.num_edges)
+        assert worlds.dtype == bool
+
+    def test_evidence_is_respected(self, triangle_graph_001):
+        sampler = BatchWorldSampler(triangle_graph_001)
+        key = triangle_graph_001.edge_variables()[0]
+        column = sampler.model.index[key]
+        worlds = sampler.sample_presence(numpy_generator(2), 40, {key: 1})
+        assert worlds[:, column].all()
+        worlds = sampler.sample_presence(numpy_generator(2), 40, {key: 0})
+        assert not worlds[:, column].any()
+
+    def test_impossible_evidence_raises(self):
+        graph = make_simple_probabilistic_graph(edge_probability=1.0)
+        sampler = BatchWorldSampler(graph)
+        key = graph.edge_variables()[0]
+        with pytest.raises(ProbabilityError):
+            sampler.sample_presence(numpy_generator(3), 5, {key: 0})
+
+    def test_impossible_evidence_raises_on_general_path(self):
+        graph = make_simple_probabilistic_graph(edge_probability=1.0)
+        sampler = BatchWorldSampler(compile_world_model(graph, allow_fast_path=False))
+        key = graph.edge_variables()[0]
+        with pytest.raises(ProbabilityError):
+            sampler.sample_presence(numpy_generator(3), 5, {key: 0})
+
+    def test_marginal_frequencies(self):
+        graph = make_simple_probabilistic_graph(edge_probability=0.7)
+        sampler = BatchWorldSampler(graph)
+        worlds = sampler.sample_presence(numpy_generator(4), 8000)
+        assert worlds.mean(axis=0) == pytest.approx([0.7] * graph.num_edges, abs=0.03)
+
+    def test_correlated_joint_frequencies(self, triangle_graph_001):
+        """General-path samples reproduce the JPT's joint distribution."""
+        sampler = BatchWorldSampler(triangle_graph_001)
+        model = sampler.model
+        worlds = sampler.sample_presence(numpy_generator(5), 40000)
+        factor = triangle_graph_001.factors[0]
+        columns = [model.index[e] for e in factor.edges]
+        for assignment, value in factor.jpt.table.items():
+            hits = (worlds[:, columns] == np.array(assignment, dtype=bool)).all(axis=1)
+            assert hits.mean() == pytest.approx(value, abs=0.02)
+
+    def test_fast_and_general_paths_agree_statistically(self):
+        graph = make_simple_probabilistic_graph(edge_probability=0.35)
+        fast = BatchWorldSampler(graph)
+        general = BatchWorldSampler(compile_world_model(graph, allow_fast_path=False))
+        fast_worlds = fast.sample_presence(numpy_generator(6), 20000)
+        general_worlds = general.sample_presence(numpy_generator(6), 20000)
+        assert fast_worlds.mean(axis=0) == pytest.approx(
+            general_worlds.mean(axis=0), abs=0.025
+        )
+
+    def test_equal_generators_give_identical_matrices(self, overlap_graph_002):
+        sampler = BatchWorldSampler(overlap_graph_002)
+        a = sampler.sample_presence(numpy_generator(7), 64)
+        b = sampler.sample_presence(numpy_generator(7), 64)
+        assert (a == b).all()
+
+
+class TestScalarReplayBitExactness:
+    """``scalar_replay=True`` reproduces the scalar estimator exactly."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_independent_graph(self, seed):
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        events = two_event_list(graph)
+        scalar = estimate_union_probability(graph, events, num_samples=150, rng=seed)
+        replay = estimate_union_probability_batch(
+            graph, events, num_samples=150, rng=seed, scalar_replay=True
+        )
+        assert scalar == replay
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_correlated_single_factor(self, triangle_graph_001, seed):
+        edges = triangle_graph_001.edge_variables()
+        events = [{edges[0], edges[1]}, {edges[2]}]
+        scalar = estimate_union_probability(
+            triangle_graph_001, events, num_samples=150, rng=seed
+        )
+        replay = estimate_union_probability_batch(
+            triangle_graph_001, events, num_samples=150, rng=seed, scalar_replay=True
+        )
+        assert scalar == replay
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_overlapping_factors(self, overlap_graph_002, seed):
+        """The conditioned-factor case: factor 2 conditions on factor 1's e3."""
+        e1, e2, e3, e4, e5 = overlap_graph_002.edge_variables()
+        events = [{e1, e3}, {e4}, {e2, e5}]
+        scalar = estimate_union_probability(
+            overlap_graph_002, events, num_samples=150, rng=seed
+        )
+        replay = estimate_union_probability_batch(
+            overlap_graph_002, events, num_samples=150, rng=seed, scalar_replay=True
+        )
+        assert scalar == replay
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        probabilities=st.lists(
+            st.floats(min_value=0.05, max_value=0.95), min_size=4, max_size=4
+        ),
+        correlation=st.sampled_from(["independent", "max"]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        event_mask=st.integers(min_value=1, max_value=14),
+    )
+    def test_property_replay_equals_scalar(
+        self, probabilities, correlation, seed, event_mask
+    ):
+        """Random marginals, correlation model, events, seed: exact equality."""
+        skeleton = LabeledGraph(name="prop")
+        for vertex, label in ((0, "a"), (1, "b"), (2, "a"), (3, "b")):
+            skeleton.add_vertex(vertex, label)
+        skeleton.add_edge(0, 1, "x")
+        skeleton.add_edge(1, 2, "x")
+        skeleton.add_edge(2, 3, "x")
+        skeleton.add_edge(0, 3, "x")
+        keys = sorted(skeleton.edge_keys())
+        graph = ProbabilisticGraph.from_edge_probabilities(
+            skeleton,
+            dict(zip(keys, probabilities)),
+            correlation=correlation,
+            max_factor_size=3,
+        )
+        events = [
+            {keys[i], keys[(i + 1) % 4]} for i in range(4) if event_mask & (1 << i)
+        ]
+        scalar = estimate_union_probability(graph, events, num_samples=40, rng=seed)
+        replay = estimate_union_probability_batch(
+            graph, events, num_samples=40, rng=seed, scalar_replay=True
+        )
+        assert scalar == replay
+
+
+class TestCanonicalBatchEstimator:
+    def test_statistical_agreement_with_exact(self, rng):
+        """Tolerance follows the (ξ, τ) bound: |est - p| <= τ whp."""
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        events = [{key} for key in graph.edge_variables()[:3]]
+        exact = exact_union_probability(graph, events)
+        estimate = estimate_union_probability_batch(
+            graph, events, xi=0.05, tau=0.1, rng=rng
+        )
+        assert estimate == pytest.approx(exact, abs=0.1)
+
+    def test_statistical_agreement_with_scalar(self, triangle_graph_001):
+        edges = triangle_graph_001.edge_variables()
+        events = [{edges[0], edges[1]}, {edges[1], edges[2]}]
+        scalar = estimate_union_probability(
+            triangle_graph_001, events, num_samples=20000, rng=11
+        )
+        batched = estimate_union_probability_batch(
+            triangle_graph_001, events, num_samples=20000, rng=11
+        )
+        assert batched == pytest.approx(scalar, abs=0.02)
+
+    def test_overlapping_factor_agreement_with_exact(self, overlap_graph_002):
+        e1, e2, e3, e4, e5 = overlap_graph_002.edge_variables()
+        events = [{e1, e3}, {e4}, {e2, e5}]
+        exact = exact_union_probability(overlap_graph_002, events)
+        estimate = estimate_union_probability_batch(
+            overlap_graph_002, events, num_samples=30000, rng=12
+        )
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_all_edges_certain(self):
+        """p = 1 everywhere, one event: every sampler variant is exactly 1.0.
+
+        (With several events the Karp-Luby count is binomial even on a
+        certain graph — only the single-event case is deterministic.)
+        """
+        graph = make_simple_probabilistic_graph(edge_probability=1.0)
+        events = [set(graph.edge_variables()[:2])]
+        assert estimate_union_probability_batch(graph, events, rng=0) == 1.0
+        assert (
+            estimate_union_probability_batch(graph, events, rng=0, scalar_replay=True)
+            == 1.0
+        )
+        assert estimate_union_probability(graph, events, rng=0) == 1.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_edges_certain_multi_event_replay_matches_scalar(self, seed):
+        graph = make_simple_probabilistic_graph(edge_probability=1.0)
+        events = two_event_list(graph)
+        scalar = estimate_union_probability(graph, events, num_samples=200, rng=seed)
+        replay = estimate_union_probability_batch(
+            graph, events, num_samples=200, rng=seed, scalar_replay=True
+        )
+        assert scalar == replay
+
+    def test_no_events_is_zero(self):
+        graph = make_simple_probabilistic_graph()
+        assert estimate_union_probability_batch(graph, [], rng=0) == 0.0
+
+    def test_zero_weight_events_short_circuit(self):
+        graph = make_simple_probabilistic_graph(edge_probability=0.0)
+        events = two_event_list(graph)
+        assert estimate_union_probability_batch(graph, events, rng=0) == 0.0
+
+    def test_result_clamped_to_unit_interval(self):
+        graph = make_simple_probabilistic_graph(edge_probability=0.95)
+        events = [{key} for key in graph.edge_variables()]
+        estimate = estimate_union_probability_batch(
+            graph, events, num_samples=400, rng=13
+        )
+        assert 0.0 <= estimate <= 1.0
+
+    def test_seeded_estimates_are_byte_identical(self, overlap_graph_002):
+        e1, e2, e3, e4, e5 = overlap_graph_002.edge_variables()
+        events = [{e1, e3}, {e4}]
+        first = estimate_union_probability_batch(
+            overlap_graph_002, events, num_samples=200, rng=99
+        )
+        second = estimate_union_probability_batch(
+            overlap_graph_002, events, num_samples=200, rng=99
+        )
+        assert first == second
+
+    def test_estimate_independent_of_event_input_order(self, rng):
+        """normalize_events canonicalizes, so input order cannot matter."""
+        graph = make_simple_probabilistic_graph(edge_probability=0.6)
+        edges = graph.edge_variables()
+        events = [{edges[0]}, {edges[1], edges[2]}, {edges[3]}]
+        shuffled = list(events)
+        random.Random(5).shuffle(shuffled)
+        assert estimate_union_probability_batch(
+            graph, events, num_samples=100, rng=7
+        ) == estimate_union_probability_batch(
+            graph, shuffled, num_samples=100, rng=7
+        )
+
+
+class TestVerifierIntegration:
+    def test_sampling_scalar_method_is_the_reference(self, rng):
+        from repro.core import VerificationConfig, Verifier
+        from repro.core.relaxation import relax_query
+
+        graph = make_simple_probabilistic_graph(edge_probability=0.6)
+        query = LabeledGraph(name="q")
+        query.add_vertex(0, "a")
+        query.add_vertex(1, "b")
+        query.add_edge(0, 1, "x")
+        scalar = Verifier(
+            VerificationConfig(method="sampling_scalar", num_samples=200), rng=31
+        )
+        relaxed = relax_query(query, 0, scalar.relaxation)
+        events = scalar._embedding_events(relaxed, graph)
+        expected = estimate_union_probability(
+            graph, events, num_samples=200, rng=31
+        )
+        assert (
+            scalar.subgraph_similarity_probability(query, graph, 0) == expected
+        )
+
+    def test_verify_block_matches_single_calls(self, small_ppi_database):
+        """Block verification returns exactly the per-candidate estimates."""
+        from repro.core import VerificationConfig, Verifier
+        from repro.utils.rng import VERIFY_STREAM, derive_rng
+
+        graphs = small_ppi_database.graphs[:4]
+        query = LabeledGraph(name="q")
+        labels = [
+            graphs[0].skeleton.vertex_label(v) for v in graphs[0].skeleton.vertices()
+        ]
+        query.add_vertex(0, labels[0])
+        query.add_vertex(1, labels[1])
+        query.add_edge(0, 1, "i")
+        verifier = Verifier(VerificationConfig(method="sampling", num_samples=120))
+        rngs = [derive_rng(17, VERIFY_STREAM, gid) for gid in range(len(graphs))]
+        block = verifier.verify_block(query, graphs, 0, rngs=rngs)
+        singles = [
+            verifier.subgraph_similarity_probability(
+                query, graph, 0, rng=derive_rng(17, VERIFY_STREAM, gid)
+            )
+            for gid, graph in enumerate(graphs)
+        ]
+        assert block == singles
+
+    def test_verify_block_is_block_size_invariant(self, small_ppi_database):
+        """Chunking the same candidates differently changes nothing."""
+        from repro.core import VerificationConfig, Verifier
+        from repro.utils.rng import VERIFY_STREAM, derive_rng
+
+        graphs = small_ppi_database.graphs
+        query = LabeledGraph(name="q")
+        query.add_vertex(0, "P0")
+        query.add_vertex(1, "P1")
+        query.add_edge(0, 1, "i")
+        verifier = Verifier(VerificationConfig(method="sampling", num_samples=80))
+        rngs = lambda ids: [derive_rng(23, VERIFY_STREAM, gid) for gid in ids]  # noqa: E731
+        whole = verifier.verify_block(query, graphs, 0, rngs=rngs(range(len(graphs))))
+        split = verifier.verify_block(
+            query, graphs[:3], 0, rngs=rngs(range(3))
+        ) + verifier.verify_block(
+            query, graphs[3:], 0, rngs=rngs(range(3, len(graphs)))
+        )
+        assert whole == split

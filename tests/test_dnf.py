@@ -5,8 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import VerificationError
-from repro.probability import estimate_union_probability, exact_union_probability
-from repro.probability.dnf import normalize_events
+from repro.probability import (
+    estimate_union_probability,
+    estimate_union_probability_batch,
+    exact_union_probability,
+)
+from repro.probability.dnf import canonical_event_key, normalize_events
 
 from tests.conftest import make_simple_probabilistic_graph
 
@@ -23,6 +27,67 @@ class TestNormalizeEvents:
 
     def test_empty_events_dropped(self):
         assert normalize_events([frozenset()]) == []
+
+    def test_ordering_is_input_order_independent(self):
+        events = [
+            frozenset({(2, 3)}),
+            frozenset({(0, 3), (1, 2)}),
+            frozenset({(0, 1)}),
+        ]
+        assert normalize_events(events) == normalize_events(list(reversed(events)))
+
+    def test_ordering_is_sorted_tuples_not_repr(self):
+        """Regression: the old repr-based key ordered (10, 11) before (2, 10)
+        because the string "(10, ..." sorts before "(2, ..." — the canonical
+        key compares edge keys as tuples, so numeric order wins."""
+        events = [frozenset({(10, 11)}), frozenset({(2, 10)})]
+        assert normalize_events(events) == [
+            frozenset({(2, 10)}),
+            frozenset({(10, 11)}),
+        ]
+
+    def test_mixed_vertex_id_types_are_orderable(self):
+        """int and str vertex ids in one event list must not raise."""
+        events = [frozenset({("a", "b")}), frozenset({(1, 2)})]
+        ordered = normalize_events(events)
+        assert set(ordered) == set(events)
+        assert ordered == sorted(ordered, key=canonical_event_key)
+
+    def test_unorderable_vertex_ids_fall_back_to_repr(self):
+        """Hashable-but-unorderable ids (allowed by edge_key's repr fallback)
+        must sort deterministically instead of raising TypeError."""
+
+        class Node:
+            def __init__(self, n):
+                self.n = n
+
+            def __repr__(self):
+                return f"Node({self.n})"
+
+        a, b, c = Node(1), Node(2), Node(3)
+        events = [frozenset({(b, c)}), frozenset({(a, b)})]
+        ordered = normalize_events(events)
+        assert set(ordered) == set(events)
+        assert ordered == normalize_events(list(reversed(events)))
+
+    def test_estimator_output_pinned_under_canonical_ordering(self):
+        """Pins the clause order the estimators see: a seeded run on a fixed
+        graph/event set must keep returning these exact values unless the
+        canonical event ordering (an explicit contract) changes."""
+        graph = make_simple_probabilistic_graph(edge_probability=0.6)
+        edges = graph.edge_variables()  # [(0,1), (0,3), (1,2), (2,3)]
+        events = [{edges[3]}, {edges[1], edges[2]}, {edges[0]}]
+        assert normalize_events(events) == [
+            frozenset({(0, 1)}),
+            frozenset({(2, 3)}),
+            frozenset({(0, 3), (1, 2)}),
+        ]
+        scalar = estimate_union_probability(graph, events, num_samples=250, rng=2012)
+        batched = estimate_union_probability_batch(
+            graph, events, num_samples=250, rng=2012
+        )
+        assert scalar == pytest.approx(0.92976, abs=1e-12)
+        assert batched == pytest.approx(0.94848, abs=1e-12)
 
 
 class TestExactUnion:
@@ -64,6 +129,34 @@ class TestExactUnion:
         events = [{key} for key in graph.edge_variables()]
         with pytest.raises(VerificationError):
             exact_union_probability(graph, events, max_events=2)
+
+    def test_benign_float_noise_is_clamped(self, monkeypatch):
+        """Totals a hair outside [0, 1] are cancellation noise, not bugs."""
+        from repro.probability import dnf
+
+        graph = make_simple_probabilistic_graph(edge_probability=1.0)
+        monkeypatch.setattr(
+            dnf.VariableEliminationEngine,
+            "probability_all_present",
+            lambda self, edges: 1.0 + 4e-7,
+        )
+        key = graph.edge_variables()[0]
+        assert exact_union_probability(graph, [{key}]) == 1.0
+
+    def test_inconsistent_totals_raise_instead_of_clamping(self, monkeypatch):
+        """Regression: a sign/cancellation bug used to be masked by the
+        [0, 1] clamp; totals far outside the interval now raise."""
+        from repro.probability import dnf
+
+        graph = make_simple_probabilistic_graph(edge_probability=0.5)
+        monkeypatch.setattr(
+            dnf.VariableEliminationEngine,
+            "probability_all_present",
+            lambda self, edges: 1.7,
+        )
+        key = graph.edge_variables()[0]
+        with pytest.raises(VerificationError, match="leaves \\[0, 1\\]"):
+            exact_union_probability(graph, [{key}])
 
 
 class TestKarpLubyEstimator:

@@ -29,6 +29,17 @@ class TestSampleSize:
         with pytest.raises(ValueError):
             monte_carlo_sample_size(tau=0.0)
 
+    def test_relative_error_above_one_rejected(self):
+        """Regression: τ = 5 used to slip through and yield a degenerate
+        1-sample estimate; τ is a relative error and must be in (0, 1]."""
+        with pytest.raises(ValueError, match=r"tau must be in \(0, 1\]"):
+            monte_carlo_sample_size(tau=5.0)
+        with pytest.raises(ValueError):
+            monte_carlo_sample_size(tau=1.0000001)
+
+    def test_tau_of_exactly_one_is_allowed(self):
+        assert monte_carlo_sample_size(0.05, 1.0) == math.ceil(4 * math.log(2 / 0.05))
+
 
 class TestWorldSampler:
     def test_assignment_covers_all_edges(self, overlap_graph_002, rng):
