@@ -1,0 +1,250 @@
+"""Matching throughput: the vectorized generic-join engine vs recursive VF2.
+
+After PR 5 vectorized verification, embedding enumeration became the dominant
+hot path: every ``rq ⊆iso f`` / ``f ⊆iso gc`` test and every ``Ef``
+enumeration (Section 4.1) ran the recursive Python backtracker once per
+(pattern, graph) pair.  This benchmark isolates an index-build + match-bound
+profile and runs it under both engines:
+
+* structural feature-count index build (``cnt_g(f)`` for every pair),
+* a feature-presence sweep (``f ⊆iso gc`` for every pair, `match_block`),
+* per query: the Grafil query profile, the pruner's feature-vs-relaxed-query
+  containment relations, and the verifier's relaxed-embedding event lists.
+
+Feature mining runs once, untimed — its cost is dominated by canonical-form
+hashing, which is engine-independent and would only dilute the comparison.
+
+The engines must agree *byte for byte*: counts, profiles, containment sets
+and embedding events are compared exactly (the canonical embedding order
+makes this possible), so the speedup is measured on provably identical work.
+
+Run as a script::
+
+    python benchmarks/bench_matching.py            # full run, asserts >= 3x
+    python benchmarks/bench_matching.py --smoke    # small, CI-friendly, no floor
+
+Each run appends one trajectory point to ``BENCH_matching.json`` (``--out``
+to relocate), so the perf history accumulates across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+# allow `python benchmarks/bench_matching.py` from the repo root (CI) as
+# well as pytest collection, where the repo root is already importable
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.core.pruning import ProbabilisticPruner
+from repro.core.relaxation import relax_query
+from repro.core.verification import VerificationConfig, Verifier
+from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_query_workload
+from repro.isomorphism import match_block, using_engine
+from repro.pmi.features import FeatureMiner, FeatureSelectionConfig
+from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.timer import Timer
+
+from benchmarks.conftest import BENCH_SEED, print_table
+
+DISTANCE_THRESHOLD = 1
+QUERY_SIZE = 5
+SPEEDUP_FLOOR = 3.0
+
+FULL = {
+    "dataset": PPIDatasetConfig(
+        num_graphs=16,
+        num_families=4,
+        vertices_per_graph=72,
+        edges_per_graph=160,
+        motif_vertices=4,
+        motif_edges=5,
+        mean_edge_probability=0.55,
+        probability_spread=0.2,
+    ),
+    "max_features": 32,
+    "num_queries": 3,
+    "repeats": 3,
+}
+
+SMOKE = {
+    "dataset": PPIDatasetConfig(
+        num_graphs=8,
+        num_families=2,
+        vertices_per_graph=36,
+        edges_per_graph=72,
+        motif_vertices=4,
+        motif_edges=4,
+        mean_edge_probability=0.55,
+        probability_spread=0.2,
+    ),
+    "max_features": 16,
+    "num_queries": 2,
+    "repeats": 1,
+}
+
+
+def build_workload(profile: dict):
+    dataset = generate_ppi_database(profile["dataset"], rng=BENCH_SEED)
+    workload = generate_query_workload(
+        dataset.graphs,
+        query_size=QUERY_SIZE,
+        num_queries=profile["num_queries"],
+        organisms=dataset.organisms,
+        rng=BENCH_SEED,
+    )
+    return dataset.graphs, workload.queries()
+
+
+def matching_pass(graphs, skeletons, features, queries, relaxed_sets, verifier, pruner):
+    """One full matching-bound pass; returns every matching-derived result."""
+    index = StructuralFeatureIndex().build(skeletons, features)
+    return {
+        "counts": index.counts_matrix().tolist(),
+        "presence": [match_block(feature.graph, skeletons) for feature in features],
+        "profiles": [index.query_profile(query) for query in queries],
+        "containment": [
+            {
+                feature_id: (sorted(c.sub_of), sorted(c.super_of))
+                for feature_id, c in pruner.prepare(relaxed).items()
+            }
+            for relaxed in relaxed_sets
+        ],
+        "events": [
+            verifier._embedding_events_block(relaxed, graphs)
+            for relaxed in relaxed_sets
+        ],
+    }
+
+
+def run_comparison(profile: dict) -> dict:
+    graphs, queries = build_workload(profile)
+    skeletons = [graph.skeleton for graph in graphs]
+
+    # mine once, untimed: feature selection is dominated by canonical-form
+    # hashing, which no matching engine touches
+    with using_engine("generic_join"):
+        features = FeatureMiner(
+            FeatureSelectionConfig(max_features=profile["max_features"])
+        ).mine(graphs)
+
+    verifier = Verifier(VerificationConfig())
+    pruner = ProbabilisticPruner(features)
+    relaxed_sets = [
+        relax_query(query, DISTANCE_THRESHOLD, verifier.relaxation) for query in queries
+    ]
+
+    def one_pass():
+        return matching_pass(
+            graphs, skeletons, features, queries, relaxed_sets, verifier, pruner
+        )
+
+    results: dict[str, dict] = {}
+    seconds: dict[str, float] = {}
+    for engine in ("generic_join", "vf2"):
+        with using_engine(engine):
+            one_pass()  # warm engine-side caches (edge tables, join plans)
+            timer = Timer()
+            with timer:
+                for _ in range(profile["repeats"]):
+                    results[engine] = one_pass()
+            seconds[engine] = timer.elapsed / profile["repeats"]
+
+    # the whole point of the canonical result order: both engines must
+    # produce byte-identical counts, profiles, containment sets and events
+    identical = results["generic_join"] == results["vf2"]
+    num_pairs = len(features) * len(graphs)
+    return {
+        "num_graphs": len(graphs),
+        "num_features": len(features),
+        "num_queries": len(queries),
+        "num_feature_graph_pairs": num_pairs,
+        "repeats": profile["repeats"],
+        "vf2_seconds": seconds["vf2"],
+        "generic_join_seconds": seconds["generic_join"],
+        "speedup": seconds["vf2"] / max(seconds["generic_join"], 1e-9),
+        "vf2_pairs_per_second": num_pairs / max(seconds["vf2"], 1e-9),
+        "generic_join_pairs_per_second": num_pairs / max(seconds["generic_join"], 1e-9),
+        "results_identical": identical,
+    }
+
+
+def append_trajectory_point(path: Path, point: dict) -> None:
+    """Append one run to the JSON trajectory (a list of run records)."""
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(point)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small dataset, one repeat, no speedup floor (CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_matching.json"),
+        help="trajectory file to append this run's point to",
+    )
+    args = parser.parse_args()
+    profile = SMOKE if args.smoke else FULL
+
+    report = run_comparison(profile)
+    print_table(
+        "Matching throughput: recursive VF2 vs vectorized generic join "
+        f"({report['num_features']} features x {report['num_graphs']} graphs, "
+        f"{report['num_queries']} queries)",
+        ["engine", "seconds/pass", "feature-graph pairs/s"],
+        [
+            [
+                "vf2 (reference)",
+                f"{report['vf2_seconds']:.3f}",
+                f"{report['vf2_pairs_per_second']:.0f}",
+            ],
+            [
+                "generic_join",
+                f"{report['generic_join_seconds']:.3f}",
+                f"{report['generic_join_pairs_per_second']:.0f}",
+            ],
+        ],
+    )
+    print(f"speedup: {report['speedup']:.2f}x  "
+          f"(results byte-identical: {report['results_identical']})")
+
+    point = {
+        "bench": "matching",
+        "mode": "smoke" if args.smoke else "full",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        **report,
+    }
+    append_trajectory_point(args.out, point)
+    print(f"trajectory point appended to {args.out}")
+
+    assert report["results_identical"], (
+        "generic-join and VF2 produced different counts/profiles/containment/"
+        "events; the engines are not equivalent on this workload"
+    )
+    if not args.smoke:
+        assert report["speedup"] >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x matching speedup, "
+            f"measured {report['speedup']:.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,11 @@ from repro.probability import JointProbabilityTable, Factor
 from repro.isomorphism import (
     is_subgraph_isomorphic,
     find_embeddings,
+    find_embeddings_block,
+    match_block,
+    get_default_engine,
+    set_default_engine,
+    using_engine,
     subgraph_distance,
     is_subgraph_similar,
 )
@@ -78,6 +83,11 @@ __all__ = [
     "Factor",
     "is_subgraph_isomorphic",
     "find_embeddings",
+    "find_embeddings_block",
+    "match_block",
+    "get_default_engine",
+    "set_default_engine",
+    "using_engine",
     "subgraph_distance",
     "is_subgraph_similar",
     "ProbabilisticMatrixIndex",

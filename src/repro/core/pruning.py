@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.quadratic_program import QPSet, solve_lsim_rounding
 from repro.core.set_cover import WeightedSet, greedy_weighted_set_cover
 from repro.graphs.labeled_graph import LabeledGraph
+from repro.isomorphism.generic_join import match_block
 from repro.isomorphism.vf2 import is_subgraph_isomorphic
 from repro.pmi.bounds import SipBounds
 from repro.pmi.features import Feature
@@ -213,17 +214,27 @@ class ProbabilisticPruner:
             feature = self.features.get(feature_id)
             if feature is None:
                 continue
-            sub_of: set[int] = set()
-            super_of: set[int] = set()
-            for index, relaxed in enumerate(relaxed_queries):
-                if feature.graph.num_edges <= relaxed.num_edges and is_subgraph_isomorphic(
-                    feature.graph, relaxed
-                ):
-                    sub_of.add(index)
-                if feature.graph.num_edges >= relaxed.num_edges and is_subgraph_isomorphic(
-                    relaxed, feature.graph
-                ):
-                    super_of.add(index)
+            # f ⊆iso rq: one block per feature, the feature's plan is shared
+            # across every relaxed query that passes the edge-count filter
+            sub_indices = [
+                index
+                for index, relaxed in enumerate(relaxed_queries)
+                if feature.graph.num_edges <= relaxed.num_edges
+            ]
+            sub_matches = match_block(
+                feature.graph, [relaxed_queries[i] for i in sub_indices]
+            )
+            sub_of = {
+                index for index, match in zip(sub_indices, sub_matches) if match
+            }
+            # rq ⊆iso f: the relaxed query is the pattern here, so its
+            # compiled plan is shared across all features instead
+            super_of = {
+                index
+                for index, relaxed in enumerate(relaxed_queries)
+                if feature.graph.num_edges >= relaxed.num_edges
+                and is_subgraph_isomorphic(relaxed, feature.graph)
+            }
             relations[feature_id] = FeatureContainment(
                 sub_of=frozenset(sub_of), super_of=frozenset(super_of)
             )

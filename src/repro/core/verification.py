@@ -34,7 +34,7 @@ from repro.exceptions import VerificationError
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.possible_worlds import enumerate_possible_worlds
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
-from repro.isomorphism.embeddings import find_embeddings
+from repro.isomorphism.embeddings import find_embeddings, find_embeddings_block
 from repro.isomorphism.mcs import is_subgraph_similar
 from repro.probability.batch_kernel import estimate_union_probability_batch
 from repro.probability.dnf import estimate_union_probability, exact_union_probability
@@ -82,20 +82,25 @@ class Verifier:
         relaxed_queries: list[LabeledGraph] | None = None,
         method: str | None = None,
         rng: RandomLike = None,
+        events: list[frozenset] | None = None,
     ) -> float:
         """``Pr(q ⊆sim g)`` with the configured (or overridden) method.
 
         ``rng`` overrides the verifier-level generator for this one call —
         the hook :meth:`verify_block` uses to key each candidate's draws on
-        its own per-graph stream.
+        its own per-graph stream.  ``events`` short-circuits embedding
+        enumeration with a precomputed event list (same order as
+        :meth:`_embedding_events`); :meth:`verify_block` uses it to share the
+        relaxed queries' compiled matching work across a whole block.
         """
         strategy = method or self.config.method
         generator = self.rng if rng is None else ensure_rng(rng)
         if strategy == "enumeration":
             return self._by_enumeration(query, graph, distance_threshold)
-        if relaxed_queries is None:
-            relaxed_queries = relax_query(query, distance_threshold, self.relaxation)
-        events = self._embedding_events(relaxed_queries, graph)
+        if events is None:
+            if relaxed_queries is None:
+                relaxed_queries = relax_query(query, distance_threshold, self.relaxation)
+            events = self._embedding_events(relaxed_queries, graph)
         if not events:
             return 0.0
         if strategy == "sampling":
@@ -146,6 +151,12 @@ class Verifier:
             relaxed_queries = relax_query(query, distance_threshold, self.relaxation)
         if rngs is None:
             rngs = [None] * len(graphs)
+        strategy = method or self.config.method
+        events_per_graph: list[list[frozenset] | None]
+        if strategy == "enumeration":
+            events_per_graph = [None] * len(graphs)
+        else:
+            events_per_graph = self._embedding_events_block(relaxed_queries, graphs)
         return [
             self.subgraph_similarity_probability(
                 query,
@@ -154,8 +165,9 @@ class Verifier:
                 relaxed_queries=relaxed_queries,
                 method=method,
                 rng=rng,
+                events=events,
             )
-            for graph, rng in zip(graphs, rngs, strict=True)
+            for graph, rng, events in zip(graphs, rngs, events_per_graph, strict=True)
         ]
 
     def matches(
@@ -187,6 +199,26 @@ class Verifier:
             ):
                 events.append(embedding.edges)
         return events
+
+    def _embedding_events_block(
+        self, relaxed_queries: list[LabeledGraph], graphs: list[ProbabilisticGraph]
+    ) -> list[list[frozenset]]:
+        """Per-graph event lists for a block, one matching pass per relaxed query.
+
+        Produces exactly what :meth:`_embedding_events` would per graph
+        (relaxed-query-major, embeddings in canonical order), but enumerates
+        each relaxed query against the whole block at once so its compiled
+        join plan is shared.
+        """
+        events_per_graph: list[list[frozenset]] = [[] for _ in graphs]
+        skeletons = [graph.skeleton for graph in graphs]
+        for relaxed in relaxed_queries:
+            per_target = find_embeddings_block(
+                relaxed, skeletons, limit=self.config.embedding_limit
+            )
+            for events, embeddings in zip(events_per_graph, per_target):
+                events.extend(embedding.edges for embedding in embeddings)
+        return events_per_graph
 
     def _by_enumeration(
         self, query: LabeledGraph, graph: ProbabilisticGraph, distance_threshold: int

@@ -86,6 +86,9 @@ class LabeledGraph:
         self._vertex_labels: dict[VertexId, Label] = {}
         self._adjacency: dict[VertexId, dict[VertexId, Label]] = {}
         self._edge_labels: dict[tuple[VertexId, VertexId], Label] = {}
+        # bumped by every mutation; derived structures (compiled edge tables,
+        # join plans) cache against it and rebuild lazily when it moves
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -130,6 +133,7 @@ class LabeledGraph:
         if vertex not in self._vertex_labels:
             self._adjacency[vertex] = {}
         self._vertex_labels[vertex] = label
+        self._version += 1
 
     def add_edge(self, u: VertexId, v: VertexId, label: Label = None) -> None:
         """Add the undirected edge (u, v) with ``label``.
@@ -145,6 +149,7 @@ class LabeledGraph:
         self._adjacency[u][v] = label
         self._adjacency[v][u] = label
         self._edge_labels[key] = label
+        self._version += 1
 
     def remove_edge(self, u: VertexId, v: VertexId) -> None:
         """Remove the undirected edge (u, v)."""
@@ -154,6 +159,7 @@ class LabeledGraph:
         del self._edge_labels[key]
         del self._adjacency[u][v]
         del self._adjacency[v][u]
+        self._version += 1
 
     def remove_vertex(self, vertex: VertexId) -> None:
         """Remove ``vertex`` and every incident edge."""
@@ -163,6 +169,7 @@ class LabeledGraph:
             self.remove_edge(vertex, neighbor)
         del self._adjacency[vertex]
         del self._vertex_labels[vertex]
+        self._version += 1
 
     def remove_isolated_vertices(self) -> list[VertexId]:
         """Remove all vertices with degree zero; return the removed ids."""
@@ -170,11 +177,18 @@ class LabeledGraph:
         for vertex in isolated:
             del self._adjacency[vertex]
             del self._vertex_labels[vertex]
+        if isolated:
+            self._version += 1
         return isolated
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    @property
+    def mutation_version(self) -> int:
+        """Monotonic counter of structural mutations (cache-invalidation key)."""
+        return self._version
+
     @property
     def num_vertices(self) -> int:
         return len(self._vertex_labels)

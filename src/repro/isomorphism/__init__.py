@@ -1,12 +1,32 @@
-"""Subgraph isomorphism machinery: VF2-style matching, embedding
-enumeration, maximum common subgraph and subgraph distance."""
+"""Subgraph isomorphism machinery: the vectorized generic-join engine, the
+VF2-style reference matcher, embedding enumeration, maximum common subgraph
+and subgraph distance."""
 
 from repro.isomorphism.vf2 import (
     VF2Matcher,
+    connectivity_order,
     is_subgraph_isomorphic,
     find_isomorphism_mapping,
 )
-from repro.isomorphism.embeddings import Embedding, find_embeddings, count_embeddings
+from repro.isomorphism.generic_join import (
+    GenericJoinMatcher,
+    GenericJoinOverflow,
+    compile_edge_table,
+    compile_join_plan,
+    get_default_engine,
+    match_block,
+    set_default_engine,
+    using_engine,
+)
+from repro.isomorphism.embeddings import (
+    Embedding,
+    EmbeddingEnumeration,
+    enumerate_embeddings,
+    find_embeddings,
+    find_embeddings_block,
+    count_embeddings,
+    count_embeddings_block,
+)
 from repro.isomorphism.mcs import (
     subgraph_distance,
     is_subgraph_similar,
@@ -15,11 +35,24 @@ from repro.isomorphism.mcs import (
 
 __all__ = [
     "VF2Matcher",
+    "connectivity_order",
     "is_subgraph_isomorphic",
     "find_isomorphism_mapping",
+    "GenericJoinMatcher",
+    "GenericJoinOverflow",
+    "compile_edge_table",
+    "compile_join_plan",
+    "get_default_engine",
+    "match_block",
+    "set_default_engine",
+    "using_engine",
     "Embedding",
+    "EmbeddingEnumeration",
+    "enumerate_embeddings",
     "find_embeddings",
+    "find_embeddings_block",
     "count_embeddings",
+    "count_embeddings_block",
     "subgraph_distance",
     "is_subgraph_similar",
     "maximum_common_subgraph_size",

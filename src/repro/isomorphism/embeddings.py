@@ -8,10 +8,22 @@ same embedding, so embeddings are deduplicated by their edge-key sets.
 Embeddings drive both bound computations of the PMI index: the lower bound
 uses disjoint embeddings (Equation 17), the upper bound uses embedding cuts
 derived from all embeddings (Equation 20).
+
+Enumeration dispatches on the active matching engine (see
+:mod:`repro.isomorphism.generic_join`); the returned list is always in the
+canonical order (sorted by repr of the sorted edge-key set), so both engines
+produce byte-identical results whenever enumeration is not truncated.
+Truncation is *surfaced*: mappings stream through the matcher callback and
+are deduplicated incrementally, so the cap applies to distinct embeddings
+(not raw mappings — the old ``4 * limit`` mapping cap silently dropped
+embeddings of features with many automorphisms), and a ``truncated`` flag
+plus a module-level counter record when the cap actually bit.
 """
 
 from __future__ import annotations
 
+import logging
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.graphs.labeled_graph import LabeledGraph, VertexId, edge_key
@@ -20,6 +32,22 @@ from repro.isomorphism.vf2 import VF2Matcher
 EdgeKey = tuple[VertexId, VertexId]
 
 DEFAULT_EMBEDDING_LIMIT = 200
+
+logger = logging.getLogger(__name__)
+
+# how many enumerate_embeddings calls hit their limit with matches left over;
+# read via truncation_count(), reset via reset_truncation_count()
+_truncation_count = 0
+
+
+def truncation_count() -> int:
+    """Number of enumerations (since last reset) that were truncated."""
+    return _truncation_count
+
+
+def reset_truncation_count() -> None:
+    global _truncation_count
+    _truncation_count = 0
 
 
 @dataclass(frozen=True)
@@ -45,45 +73,138 @@ class Embedding:
         return len(self.edges)
 
 
+@dataclass(frozen=True)
+class EmbeddingEnumeration:
+    """Result of one enumeration: the embeddings plus whether the cap bit."""
+
+    embeddings: list
+    truncated: bool
+
+
+def _canonical_sort(embeddings: list) -> None:
+    embeddings.sort(key=lambda e: repr(sorted(e.edges, key=repr)))
+
+
+def _enumerate_vf2(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    limit: int | None,
+    label_sensitive: bool,
+) -> tuple[list[Embedding], bool]:
+    """Stream VF2 mappings, deduplicating into embeddings incrementally."""
+    matcher = VF2Matcher(pattern, target, label_sensitive=label_sensitive)
+    pattern_edges = list(pattern.edge_keys())
+    seen: set[frozenset] = set()
+    embeddings: list[Embedding] = []
+    truncated = False
+
+    def visit(mapping: dict) -> bool:
+        nonlocal truncated
+        edge_set = frozenset(
+            edge_key(mapping[u], mapping[v]) for u, v in pattern_edges
+        )
+        if edge_set in seen:
+            return True
+        if limit is not None and len(embeddings) >= limit:
+            # a new distinct embedding exists beyond the cap: we really truncated
+            truncated = True
+            return False
+        seen.add(edge_set)
+        embeddings.append(
+            Embedding(edges=edge_set, vertices=frozenset(mapping.values()))
+        )
+        return True
+
+    matcher.for_each_mapping(visit)
+    return embeddings, truncated
+
+
+def enumerate_embeddings(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    limit: int | None = DEFAULT_EMBEDDING_LIMIT,
+    label_sensitive: bool = True,
+    method: str | None = None,
+) -> EmbeddingEnumeration:
+    """All distinct embeddings of ``pattern`` in ``target``, with truncation flag.
+
+    Parameters
+    ----------
+    limit:
+        Cap on the number of distinct *embeddings*; ``None`` removes the cap.
+        When the cap bites, each engine truncates in its own deterministic
+        discovery order and ``truncated`` is True.
+    method:
+        ``"generic_join"``, ``"vf2"``, or None for the session default.
+
+    Returns
+    -------
+    EmbeddingEnumeration
+        ``embeddings`` sorted canonically (by repr of the sorted edge set).
+    """
+    global _truncation_count
+    if pattern.num_edges == 0:
+        return EmbeddingEnumeration(embeddings=[], truncated=False)
+    from repro.isomorphism import generic_join
+
+    if generic_join.resolve_engine(method) == "generic_join":
+        try:
+            pairs, truncated = generic_join.enumerate_embedding_sets(
+                pattern, target, limit, label_sensitive=label_sensitive
+            )
+            embeddings = [Embedding(edges=e, vertices=v) for e, v in pairs]
+        except generic_join.GenericJoinOverflow:
+            embeddings, truncated = _enumerate_vf2(pattern, target, limit, label_sensitive)
+    else:
+        embeddings, truncated = _enumerate_vf2(pattern, target, limit, label_sensitive)
+    _canonical_sort(embeddings)
+    if truncated:
+        _truncation_count += 1
+        logger.debug(
+            "embedding enumeration truncated at limit=%s for pattern %r in target %r",
+            limit,
+            pattern,
+            target,
+        )
+    return EmbeddingEnumeration(embeddings=embeddings, truncated=truncated)
+
+
 def find_embeddings(
     pattern: LabeledGraph,
     target: LabeledGraph,
     limit: int | None = DEFAULT_EMBEDDING_LIMIT,
     label_sensitive: bool = True,
+    method: str | None = None,
 ) -> list[Embedding]:
-    """All distinct embeddings of ``pattern`` in ``target``.
+    """All distinct embeddings of ``pattern`` in ``target`` (canonical order).
 
-    Parameters
-    ----------
-    limit:
-        Cap on the number of *mappings* explored (not embeddings); features
-        with pathological automorphism counts are truncated rather than
-        allowed to blow up index construction.  ``None`` removes the cap.
-
-    Returns
-    -------
-    list[Embedding]
-        Sorted deterministically (by repr of the edge set).
+    Thin wrapper over :func:`enumerate_embeddings` for call sites that only
+    need the list; truncation is still counted and logged there.
     """
-    if pattern.num_edges == 0:
-        return []
-    matcher = VF2Matcher(pattern, target, label_sensitive=label_sensitive)
-    mapping_limit = None if limit is None else max(limit * 4, limit)
-    seen: set[frozenset] = set()
-    embeddings: list[Embedding] = []
-    for mapping in matcher.all_mappings(limit=mapping_limit):
-        edge_set = frozenset(
-            edge_key(mapping[u], mapping[v]) for u, v in pattern.edge_keys()
-        )
-        if edge_set in seen:
-            continue
-        seen.add(edge_set)
-        vertex_set = frozenset(mapping.values())
-        embeddings.append(Embedding(edges=edge_set, vertices=vertex_set))
-        if limit is not None and len(embeddings) >= limit:
-            break
-    embeddings.sort(key=lambda e: repr(sorted(e.edges, key=repr)))
-    return embeddings
+    return enumerate_embeddings(
+        pattern, target, limit=limit, label_sensitive=label_sensitive, method=method
+    ).embeddings
+
+
+def find_embeddings_block(
+    pattern: LabeledGraph,
+    targets: Iterable[LabeledGraph],
+    limit: int | None = DEFAULT_EMBEDDING_LIMIT,
+    label_sensitive: bool = True,
+    method: str | None = None,
+) -> list[list[Embedding]]:
+    """Embeddings of one ``pattern`` in every target of a block.
+
+    The pattern's compiled join plan is shared across the whole block (and
+    each target's edge table across future blocks), which is where the
+    generic-join engine earns its keep on index builds.
+    """
+    return [
+        enumerate_embeddings(
+            pattern, target, limit=limit, label_sensitive=label_sensitive, method=method
+        ).embeddings
+        for target in targets
+    ]
 
 
 def count_embeddings(
@@ -91,9 +212,30 @@ def count_embeddings(
     target: LabeledGraph,
     limit: int | None = DEFAULT_EMBEDDING_LIMIT,
     label_sensitive: bool = True,
+    method: str | None = None,
 ) -> int:
     """Number of distinct embeddings (capped at ``limit``)."""
-    return len(find_embeddings(pattern, target, limit=limit, label_sensitive=label_sensitive))
+    return len(
+        find_embeddings(
+            pattern, target, limit=limit, label_sensitive=label_sensitive, method=method
+        )
+    )
+
+
+def count_embeddings_block(
+    pattern: LabeledGraph,
+    targets: Sequence[LabeledGraph],
+    limit: int | None = DEFAULT_EMBEDDING_LIMIT,
+    label_sensitive: bool = True,
+    method: str | None = None,
+) -> list[int]:
+    """Embedding counts of one ``pattern`` across a block of targets."""
+    return [
+        len(embeddings)
+        for embeddings in find_embeddings_block(
+            pattern, targets, limit=limit, label_sensitive=label_sensitive, method=method
+        )
+    ]
 
 
 def maximal_disjoint_embeddings(embeddings: list[Embedding]) -> list[Embedding]:
@@ -104,7 +246,8 @@ def maximal_disjoint_embeddings(embeddings: list[Embedding]) -> list[Embedding]:
     the exact maximum-weight variant lives in :mod:`repro.pmi.embedding_graph`.
     """
     chosen: list[Embedding] = []
-    for embedding in sorted(embeddings, key=lambda e: (len(e.edges), repr(sorted(e.edges, key=repr)))):
+    order = lambda e: (len(e.edges), repr(sorted(e.edges, key=repr)))
+    for embedding in sorted(embeddings, key=order):
         if all(embedding.is_edge_disjoint(existing) for existing in chosen):
             chosen.append(embedding)
     return chosen

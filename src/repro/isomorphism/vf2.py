@@ -13,6 +13,10 @@ Pruning rules:
 * vertex label equality and degree feasibility,
 * consistency of already-mapped neighbours (the core VF2 feasibility rule),
 * a global quick reject on vertex/edge label multisets.
+
+The recursive matcher survives as the ``method="vf2"`` reference engine; the
+default engine lives in :mod:`repro.isomorphism.generic_join` and the module
+functions below dispatch on the active engine.
 """
 
 from __future__ import annotations
@@ -22,6 +26,45 @@ from collections.abc import Callable
 from repro.graphs.labeled_graph import LabeledGraph, VertexId
 
 MatchCallback = Callable[[dict[VertexId, VertexId]], bool]
+
+
+def connectivity_order(pattern: LabeledGraph) -> list[VertexId]:
+    """Connectivity-aware vertex elimination order, shared by both engines.
+
+    BFS from the highest-degree vertex of each component, always taking the
+    frontier vertex with the most already-placed neighbours (ties broken by
+    degree, then repr).  Placed-neighbour counts are maintained incrementally
+    so the whole ordering is O(V + E) selections over the frontier instead of
+    re-sorting the frontier on every pop.
+    """
+    degree = {v: pattern.degree(v) for v in pattern.vertices()}
+    neighbors = {v: tuple(pattern.neighbors(v)) for v in degree}
+    placed_count = dict.fromkeys(degree, 0)
+    order: list[VertexId] = []
+    placed: set[VertexId] = set()
+    remaining = set(degree)
+    while remaining:
+        start = max(remaining, key=lambda v: (degree[v], repr(v)))
+        frontier = [start]
+        in_frontier = {start}
+        while frontier:
+            current = min(
+                frontier,
+                key=lambda v: (-placed_count[v], -degree[v], repr(v)),
+            )
+            frontier.remove(current)
+            in_frontier.discard(current)
+            order.append(current)
+            placed.add(current)
+            remaining.discard(current)
+            for neighbor in neighbors[current]:
+                if neighbor in placed:
+                    continue
+                placed_count[neighbor] += 1
+                if neighbor not in in_frontier:
+                    frontier.append(neighbor)
+                    in_frontier.add(neighbor)
+    return order
 
 
 class VF2Matcher:
@@ -47,19 +90,24 @@ class VF2Matcher:
         self.pattern = pattern
         self.target = target
         self.label_sensitive = label_sensitive
-        self._pattern_order = self._matching_order()
+        self._pattern_order = connectivity_order(pattern)
+        self._pattern_neighbors: dict[VertexId, tuple[VertexId, ...]] = {
+            v: tuple(pattern.neighbors(v)) for v in pattern.vertices()
+        }
         self._targets_by_label: dict[object, list[VertexId]] = {}
         for vertex in target.vertices():
             key = target.vertex_label(vertex) if label_sensitive else None
             self._targets_by_label.setdefault(key, []).append(vertex)
+        for pool in self._targets_by_label.values():
+            pool.sort(key=repr)
+        self._target_neighbor_cache: dict[VertexId, frozenset] = {}
+        self._used: set[VertexId] = set()
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def exists(self) -> bool:
         """True when at least one subgraph isomorphism exists."""
-        if not self._quick_feasible():
-            return False
         found = False
 
         def stop_on_first(_mapping: dict) -> bool:
@@ -67,13 +115,11 @@ class VF2Matcher:
             found = True
             return False  # stop enumeration
 
-        self._search({}, stop_on_first)
+        self.for_each_mapping(stop_on_first)
         return found
 
     def first_mapping(self) -> dict[VertexId, VertexId] | None:
         """One mapping pattern-vertex -> target-vertex, or None."""
-        if not self._quick_feasible():
-            return None
         result: dict[VertexId, VertexId] | None = None
 
         def keep_first(mapping: dict) -> bool:
@@ -81,21 +127,31 @@ class VF2Matcher:
             result = dict(mapping)
             return False
 
-        self._search({}, keep_first)
+        self.for_each_mapping(keep_first)
         return result
 
     def all_mappings(self, limit: int | None = None) -> list[dict[VertexId, VertexId]]:
         """All injective mappings (up to ``limit``)."""
-        if not self._quick_feasible():
-            return []
         mappings: list[dict[VertexId, VertexId]] = []
 
         def collect(mapping: dict) -> bool:
             mappings.append(dict(mapping))
             return limit is None or len(mappings) < limit
 
-        self._search({}, collect)
+        self.for_each_mapping(collect)
         return mappings
+
+    def for_each_mapping(self, callback: MatchCallback) -> None:
+        """Stream every injective mapping through ``callback``.
+
+        ``callback`` receives the live partial-mapping dict (copy it if it
+        must outlive the call) and returns False to abort enumeration.
+        Mappings arrive in the matcher's deterministic depth-first order.
+        """
+        if not self._quick_feasible():
+            return
+        self._used.clear()
+        self._search({}, callback)
 
     # ------------------------------------------------------------------
     # internals
@@ -119,53 +175,34 @@ class VF2Matcher:
                 return False
         return True
 
-    def _matching_order(self) -> list[VertexId]:
-        """Connectivity-aware ordering: BFS from the highest-degree vertex of
-        each component, preferring vertices adjacent to already-ordered ones."""
-        order: list[VertexId] = []
-        placed: set[VertexId] = set()
-        remaining = set(self.pattern.vertices())
-        while remaining:
-            start = max(remaining, key=lambda v: (self.pattern.degree(v), repr(v)))
-            frontier = [start]
-            while frontier:
-                # pick the frontier vertex with the most already-placed neighbours
-                frontier.sort(
-                    key=lambda v: (
-                        -sum(1 for n in self.pattern.neighbors(v) if n in placed),
-                        -self.pattern.degree(v),
-                        repr(v),
-                    )
-                )
-                current = frontier.pop(0)
-                if current in placed:
-                    continue
-                order.append(current)
-                placed.add(current)
-                remaining.discard(current)
-                for neighbor in self.pattern.neighbors(current):
-                    if neighbor not in placed and neighbor not in frontier:
-                        frontier.append(neighbor)
-        return order
+    def _target_neighbors(self, vertex: VertexId) -> frozenset:
+        cached = self._target_neighbor_cache.get(vertex)
+        if cached is None:
+            cached = frozenset(self.target.neighbors(vertex))
+            self._target_neighbor_cache[vertex] = cached
+        return cached
 
     def _candidates(
         self, pattern_vertex: VertexId, mapping: dict[VertexId, VertexId]
     ) -> list[VertexId]:
         """Target candidates for ``pattern_vertex`` given the partial mapping."""
-        used = set(mapping.values())
-        mapped_neighbors = [n for n in self.pattern.neighbors(pattern_vertex) if n in mapping]
-        if mapped_neighbors:
-            # candidates must be neighbours of every mapped pattern-neighbour's image
-            candidate_sets = []
-            for neighbor in mapped_neighbors:
-                image = mapping[neighbor]
-                candidate_sets.append(set(self.target.neighbors(image)))
-            candidates = set.intersection(*candidate_sets) - used
-        else:
+        used = self._used
+        mapped_neighbors = [
+            n for n in self._pattern_neighbors[pattern_vertex] if n in mapping
+        ]
+        if not mapped_neighbors:
             key = (
                 self.pattern.vertex_label(pattern_vertex) if self.label_sensitive else None
             )
-            candidates = set(self._targets_by_label.get(key, [])) - used
+            pool = self._targets_by_label.get(key, [])
+            return [t for t in pool if t not in used]  # pool is presorted by repr
+        # candidates must be neighbours of every mapped pattern-neighbour's image
+        neighbor_sets = [self._target_neighbors(mapping[n]) for n in mapped_neighbors]
+        neighbor_sets.sort(key=len)
+        base, rest = neighbor_sets[0], neighbor_sets[1:]
+        candidates = [
+            t for t in base if t not in used and all(t in s for s in rest)
+        ]
         return sorted(candidates, key=repr)
 
     def _feasible(
@@ -180,7 +217,7 @@ class VF2Matcher:
             return False
         if self.pattern.degree(pattern_vertex) > self.target.degree(target_vertex):
             return False
-        for neighbor in self.pattern.neighbors(pattern_vertex):
+        for neighbor in self._pattern_neighbors[pattern_vertex]:
             if neighbor not in mapping:
                 continue
             image = mapping[neighbor]
@@ -201,26 +238,46 @@ class VF2Matcher:
             if not self._feasible(pattern_vertex, target_vertex, mapping):
                 continue
             mapping[pattern_vertex] = target_vertex
+            self._used.add(target_vertex)
             keep_going = self._search(mapping, callback)
             del mapping[pattern_vertex]
+            self._used.discard(target_vertex)
             if not keep_going:
                 return False
         return True
 
 
 def is_subgraph_isomorphic(
-    pattern: LabeledGraph, target: LabeledGraph, label_sensitive: bool = True
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    label_sensitive: bool = True,
+    method: str | None = None,
 ) -> bool:
-    """``pattern ⊆iso target`` (Definition 5)."""
+    """``pattern ⊆iso target`` (Definition 5).
+
+    ``method`` picks the engine (``"generic_join"`` or ``"vf2"``); None uses
+    the session default (see :mod:`repro.isomorphism.generic_join`).
+    """
     if pattern.num_vertices == 0:
         return True
+    from repro.isomorphism import generic_join
+
+    if generic_join.resolve_engine(method) == "generic_join":
+        return generic_join.pattern_exists(pattern, target, label_sensitive=label_sensitive)
     return VF2Matcher(pattern, target, label_sensitive=label_sensitive).exists()
 
 
 def find_isomorphism_mapping(
-    pattern: LabeledGraph, target: LabeledGraph, label_sensitive: bool = True
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    label_sensitive: bool = True,
+    method: str | None = None,
 ) -> dict[VertexId, VertexId] | None:
     """One witnessing mapping for ``pattern ⊆iso target``, or None."""
     if pattern.num_vertices == 0:
         return {}
+    from repro.isomorphism import generic_join
+
+    if generic_join.resolve_engine(method) == "generic_join":
+        return generic_join.first_mapping(pattern, target, label_sensitive=label_sensitive)
     return VF2Matcher(pattern, target, label_sensitive=label_sensitive).first_mapping()

@@ -116,11 +116,18 @@ def compute_sip_bounds(
     graph: ProbabilisticGraph,
     config: BoundConfig | None = None,
     rng: RandomLike = None,
+    embeddings: list[Embedding] | None = None,
 ) -> SipBounds:
-    """Compute ``(LowerB(f), UpperB(f))`` for feature ``f`` against ``g``."""
+    """Compute ``(LowerB(f), UpperB(f))`` for feature ``f`` against ``g``.
+
+    ``embeddings`` optionally short-circuits enumeration with a precomputed
+    list (must be the canonical-order output of :func:`find_embeddings` for
+    this pair); block callers use it to batch the matching work per feature.
+    """
     cfg = config or BoundConfig()
     generator = ensure_rng(rng)
-    embeddings = find_embeddings(feature, graph.skeleton, limit=cfg.embedding_limit)
+    if embeddings is None:
+        embeddings = find_embeddings(feature, graph.skeleton, limit=cfg.embedding_limit)
     if not embeddings:
         return SipBounds(lower=0.0, upper=0.0, num_embeddings=0, num_cuts=0)
 

@@ -26,7 +26,10 @@ from dataclasses import dataclass, field
 from repro.graphs.canonical import canonical_form
 from repro.graphs.labeled_graph import LabeledGraph, edge_key
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
-from repro.isomorphism.embeddings import find_embeddings, maximal_disjoint_embeddings
+from repro.isomorphism.embeddings import (
+    find_embeddings_block,
+    maximal_disjoint_embeddings,
+)
 
 
 @dataclass(frozen=True)
@@ -142,11 +145,12 @@ class FeatureMiner:
     ) -> list[LabeledGraph]:
         """Extend parent features by one edge along their data-graph embeddings."""
         candidates: dict[str, LabeledGraph] = {}
+        skeleton_list = list(skeletons.values())
         for parent in parents:
-            for skeleton in skeletons.values():
-                embeddings = find_embeddings(
-                    parent, skeleton, limit=self.config.embedding_limit
-                )
+            embeddings_per_skeleton = find_embeddings_block(
+                parent, skeleton_list, limit=self.config.embedding_limit
+            )
+            for skeleton, embeddings in zip(skeleton_list, embeddings_per_skeleton):
                 for embedding in embeddings:
                     extensions = self._extensions_of(embedding.edges, skeleton)
                     for extension_edges in extensions:
@@ -189,8 +193,10 @@ class FeatureMiner:
         """
         containing = set()
         qualified = set()
-        for index, skeleton in skeletons.items():
-            embeddings = find_embeddings(candidate, skeleton, limit=self.config.embedding_limit)
+        embeddings_per_skeleton = find_embeddings_block(
+            candidate, skeletons.values(), limit=self.config.embedding_limit
+        )
+        for (index, _skeleton), embeddings in zip(skeletons.items(), embeddings_per_skeleton):
             if not embeddings:
                 continue
             containing.add(index)

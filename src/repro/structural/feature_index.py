@@ -29,7 +29,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.graphs.labeled_graph import LabeledGraph
-from repro.isomorphism.embeddings import find_embeddings
+from repro.isomorphism.embeddings import count_embeddings_block, find_embeddings
 from repro.pmi.features import Feature
 from repro.utils.rows import resolve_row_selector
 
@@ -75,14 +75,7 @@ class StructuralFeatureIndex:
         self._feature_pos = {
             feature.feature_id: column for column, feature in enumerate(self.features)
         }
-        self._counts = np.zeros((len(skeletons), len(self.features)), dtype=np.int32)
-        for graph_id, skeleton in enumerate(skeletons):
-            for column, feature in enumerate(self.features):
-                embeddings = find_embeddings(
-                    feature.graph, skeleton, limit=self.embedding_limit
-                )
-                if embeddings:
-                    self._counts[graph_id, column] = len(embeddings)
+        self._counts = self._count_matrix(skeletons)
         self._built = True
         return self
 
@@ -96,16 +89,22 @@ class StructuralFeatureIndex:
         """
         if not self._built:
             raise ValueError("the structural feature index must be built first")
-        grown = np.zeros((len(skeletons), len(self.features)), dtype=np.int32)
-        for row, skeleton in enumerate(skeletons):
-            for column, feature in enumerate(self.features):
-                embeddings = find_embeddings(
-                    feature.graph, skeleton, limit=self.embedding_limit
-                )
-                if embeddings:
-                    grown[row, column] = len(embeddings)
-        self._counts = np.vstack([self._counts, grown])
+        self._counts = np.vstack([self._counts, self._count_matrix(skeletons)])
         return self
+
+    def _count_matrix(self, skeletons: list[LabeledGraph]) -> np.ndarray:
+        """``counts[graph, feature]`` for a batch of skeletons.
+
+        Filled feature-major: each feature's compiled join plan is reused
+        across the whole skeleton block (counting is deterministic and
+        RNG-free, so the fill order does not affect results).
+        """
+        counts = np.zeros((len(skeletons), len(self.features)), dtype=np.int32)
+        for column, feature in enumerate(self.features):
+            counts[:, column] = count_embeddings_block(
+                feature.graph, skeletons, limit=self.embedding_limit
+            )
+        return counts
 
     def subset(self, graph_ids) -> "StructuralFeatureIndex":
         """A new index over the given rows of the count matrix.

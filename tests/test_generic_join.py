@@ -1,0 +1,282 @@
+"""Unit tests for the vectorized generic-join matching engine: the matcher
+API, block entry points, compiled-structure caching against the graph
+mutation counter, the overflow fallback to VF2, truncation reporting and
+the engine registry."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.graphs import LabeledGraph
+from repro.isomorphism import (
+    GenericJoinMatcher,
+    GenericJoinOverflow,
+    VF2Matcher,
+    compile_edge_table,
+    compile_join_plan,
+    count_embeddings_block,
+    enumerate_embeddings,
+    find_embeddings,
+    find_embeddings_block,
+    get_default_engine,
+    match_block,
+    set_default_engine,
+    using_engine,
+)
+from repro.isomorphism import generic_join
+from repro.isomorphism.embeddings import reset_truncation_count, truncation_count
+
+
+def build(vertex_labels, edges):
+    return LabeledGraph.from_edges(vertex_labels, edges)
+
+
+def assert_valid_mapping(pattern, target, mapping, label_sensitive=True):
+    """The monomorphism contract of Definition 5, checked directly."""
+    assert set(mapping) == set(pattern.vertices())
+    assert len(set(mapping.values())) == len(mapping)  # injective
+    for u, v in pattern.edge_keys():
+        assert target.has_edge(mapping[u], mapping[v])
+        if label_sensitive:
+            assert pattern.edge_label(u, v) == target.edge_label(mapping[u], mapping[v])
+    if label_sensitive:
+        for vertex in pattern.vertices():
+            assert pattern.vertex_label(vertex) == target.vertex_label(mapping[vertex])
+
+
+@pytest.fixture
+def triangle_target():
+    return build(
+        {0: "a", 1: "a", 2: "b", 3: "b"},
+        [(0, 1, "x"), (0, 2, "x"), (1, 2, "x"), (2, 3, "y")],
+    )
+
+
+class TestGenericJoinMatcher:
+    def test_single_edge_exists(self, triangle_target):
+        pattern = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        assert GenericJoinMatcher(pattern, triangle_target).exists()
+
+    def test_vertex_label_mismatch(self, triangle_target):
+        pattern = build({0: "a", 1: "z"}, [(0, 1, "x")])
+        assert not GenericJoinMatcher(pattern, triangle_target).exists()
+
+    def test_edge_label_mismatch(self, triangle_target):
+        pattern = build({0: "a", 1: "b"}, [(0, 1, "y")])
+        assert not GenericJoinMatcher(pattern, triangle_target).exists()
+
+    def test_label_insensitive_ignores_labels(self, triangle_target):
+        pattern = build({0: "p", 1: "q"}, [(0, 1, "zzz")])
+        assert not GenericJoinMatcher(pattern, triangle_target).exists()
+        assert GenericJoinMatcher(pattern, triangle_target, label_sensitive=False).exists()
+
+    def test_triangle_in_triangle(self, triangle_target):
+        pattern = build({0: "a", 1: "a", 2: "b"}, [(0, 1, "x"), (0, 2, "x"), (1, 2, "x")])
+        matcher = GenericJoinMatcher(pattern, triangle_target)
+        assert matcher.exists()
+        mapping = matcher.first_mapping()
+        assert_valid_mapping(pattern, triangle_target, mapping)
+
+    def test_triangle_not_in_path(self):
+        triangle = build({0: "a", 1: "a", 2: "a"}, [(0, 1, "x"), (1, 2, "x"), (0, 2, "x")])
+        path = build({0: "a", 1: "a", 2: "a"}, [(0, 1, "x"), (1, 2, "x")])
+        assert not GenericJoinMatcher(triangle, path).exists()
+        assert GenericJoinMatcher(triangle, path).first_mapping() is None
+
+    def test_non_induced_semantics(self):
+        path = build({0: "a", 1: "a", 2: "a"}, [(0, 1, "x"), (1, 2, "x")])
+        triangle = build({0: "a", 1: "a", 2: "a"}, [(0, 1, "x"), (1, 2, "x"), (0, 2, "x")])
+        assert GenericJoinMatcher(path, triangle).exists()
+
+    def test_disconnected_pattern(self, triangle_target):
+        pattern = build({0: "a", 1: "a", 2: "b", 3: "b"}, [(0, 1, "x"), (2, 3, "y")])
+        mapping = GenericJoinMatcher(pattern, triangle_target).first_mapping()
+        assert_valid_mapping(pattern, triangle_target, mapping)
+
+    def test_all_mappings_match_vf2(self, triangle_target):
+        pattern = build({0: "a", 1: "a", 2: "b"}, [(0, 1, "x"), (0, 2, "x"), (1, 2, "x")])
+        gj = GenericJoinMatcher(pattern, triangle_target).all_mappings()
+        vf2 = VF2Matcher(pattern, triangle_target).all_mappings()
+        key = lambda m: sorted(m.items(), key=repr)
+        assert sorted(gj, key=key) == sorted(vf2, key=key)
+        for mapping in gj:
+            assert_valid_mapping(pattern, triangle_target, mapping)
+
+    def test_all_mappings_limit(self, triangle_target):
+        pattern = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        assert len(GenericJoinMatcher(pattern, triangle_target).all_mappings(limit=1)) == 1
+
+    def test_missing_label_in_target(self, triangle_target):
+        pattern = build({0: "zzz"}, [])
+        assert not GenericJoinMatcher(pattern, triangle_target).exists()
+
+
+class TestBlockAPIs:
+    def test_match_block(self, triangle_target):
+        pattern = build({0: "a", 1: "a", 2: "b"}, [(0, 1, "x"), (0, 2, "x"), (1, 2, "x")])
+        path_only = build({0: "a", 1: "a", 2: "b"}, [(0, 1, "x"), (0, 2, "x")])
+        targets = [triangle_target, path_only, build({0: "c"}, [])]
+        assert match_block(pattern, targets) == [True, False, False]
+        assert match_block(pattern, targets, method="vf2") == [True, False, False]
+
+    def test_match_block_empty_pattern(self, triangle_target):
+        assert match_block(LabeledGraph(), [triangle_target, LabeledGraph()]) == [True, True]
+
+    def test_find_embeddings_block_matches_sequential(self, triangle_target):
+        pattern = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        targets = [triangle_target, build({0: "a", 1: "b"}, [(0, 1, "x")])]
+        block = find_embeddings_block(pattern, targets, limit=None)
+        assert block == [find_embeddings(pattern, t, limit=None) for t in targets]
+
+    def test_count_embeddings_block(self, triangle_target):
+        pattern = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        counts = count_embeddings_block(pattern, [triangle_target], limit=None)
+        # two "a" vertices each adjacent to the "b" vertex 2 via an "x" edge
+        assert counts == [2]
+
+
+class TestTruncation:
+    @pytest.fixture
+    def star(self):
+        """One 'a' hub with five 'b' spokes: 5 distinct single-edge embeddings."""
+        labels = {0: "a", **{i: "b" for i in range(1, 6)}}
+        return build(labels, [(0, i, "x") for i in range(1, 6)])
+
+    @pytest.mark.parametrize("engine", ["generic_join", "vf2"])
+    def test_truncated_flag_and_counter(self, star, engine):
+        pattern = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        with using_engine(engine):
+            reset_truncation_count()
+            full = enumerate_embeddings(pattern, star, limit=None)
+            assert len(full.embeddings) == 5
+            assert not full.truncated
+            assert truncation_count() == 0
+
+            capped = enumerate_embeddings(pattern, star, limit=3)
+            assert len(capped.embeddings) == 3
+            assert capped.truncated
+            assert truncation_count() == 1
+
+            # a limit exactly at the number of distinct embeddings is not truncation
+            exact = enumerate_embeddings(pattern, star, limit=5)
+            assert len(exact.embeddings) == 5
+            assert not exact.truncated
+            assert truncation_count() == 1
+        reset_truncation_count()
+
+    def test_edgeless_pattern_has_no_embeddings(self, star):
+        result = enumerate_embeddings(build({0: "a"}, []), star)
+        assert result.embeddings == [] and not result.truncated
+
+
+class TestCompiledStructureCaching:
+    def test_edge_table_cached_until_mutation(self):
+        graph = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        table = compile_edge_table(graph)
+        assert compile_edge_table(graph) is table
+        graph.add_vertex(2, "c")
+        rebuilt = compile_edge_table(graph)
+        assert rebuilt is not table
+        assert rebuilt.num_vertices == 3
+
+    def test_every_mutator_bumps_version(self):
+        graph = build({0: "a", 1: "b", 2: "c"}, [(0, 1, "x"), (1, 2, "x")])
+        version = graph.mutation_version
+        graph.add_vertex(3, "d")
+        graph.add_edge(2, 3, "y")
+        graph.remove_edge(2, 3)
+        graph.remove_vertex(3)
+        assert graph.mutation_version == version + 4
+        # no isolated vertices: a no-op sweep must not invalidate caches
+        table = compile_edge_table(graph)
+        graph.remove_isolated_vertices()
+        assert compile_edge_table(graph) is table
+
+    def test_join_plan_cached_per_label_mode(self):
+        pattern = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        sensitive = compile_join_plan(pattern, label_sensitive=True)
+        insensitive = compile_join_plan(pattern, label_sensitive=False)
+        assert sensitive is not insensitive
+        assert compile_join_plan(pattern, label_sensitive=True) is sensitive
+        pattern.add_vertex(2, "c")
+        assert compile_join_plan(pattern, label_sensitive=True) is not sensitive
+
+    def test_copy_does_not_share_cache(self):
+        graph = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        table = compile_edge_table(graph)
+        clone = graph.copy()
+        assert compile_edge_table(clone) is not table
+
+    def test_cached_result_reflects_mutation(self):
+        """The end-to-end regression: answers must track graph edits."""
+        pattern = build({0: "a", 1: "a"}, [(0, 1, "x")])
+        target = build({0: "a", 1: "a"}, [])
+        assert not GenericJoinMatcher(pattern, target).exists()
+        target.add_edge(0, 1, "x")
+        assert GenericJoinMatcher(pattern, target).exists()
+        target.remove_edge(0, 1)
+        assert not GenericJoinMatcher(pattern, target).exists()
+
+
+class TestOverflowFallback:
+    def test_overflow_falls_back_to_vf2(self, monkeypatch, triangle_target):
+        pattern = build({0: "a", 1: "a", 2: "b"}, [(0, 1, "x"), (0, 2, "x"), (1, 2, "x")])
+        expected_exists = GenericJoinMatcher(pattern, triangle_target).exists()
+        expected = find_embeddings(pattern, triangle_target, limit=None, method="vf2")
+        monkeypatch.setattr(generic_join, "_MAX_OPEN_BRANCHES", 1)
+        with pytest.raises(GenericJoinOverflow):
+            generic_join.execute_join_plan(
+                compile_join_plan(pattern), compile_edge_table(triangle_target)
+            )
+        # the public APIs silently reroute the overflowing pair through VF2
+        assert GenericJoinMatcher(pattern, triangle_target).exists() == expected_exists
+        mapping = GenericJoinMatcher(pattern, triangle_target).first_mapping()
+        assert_valid_mapping(pattern, triangle_target, mapping)
+        with using_engine("generic_join"):
+            assert find_embeddings(pattern, triangle_target, limit=None) == expected
+
+
+class TestEngineRegistry:
+    def test_default_engine_is_generic_join(self):
+        assert get_default_engine() == "generic_join"
+
+    def test_resolve(self):
+        assert generic_join.resolve_engine(None) == get_default_engine()
+        assert generic_join.resolve_engine("vf2") == "vf2"
+        assert generic_join.resolve_engine("generic_join") == "generic_join"
+        with pytest.raises(ValueError):
+            generic_join.resolve_engine("simd")
+
+    def test_set_default_engine_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_default_engine("nope")
+
+    def test_using_engine_restores_previous(self):
+        before = get_default_engine()
+        with using_engine("vf2"):
+            assert get_default_engine() == "vf2"
+            with using_engine("generic_join"):
+                assert get_default_engine() == "generic_join"
+            assert get_default_engine() == "vf2"
+        assert get_default_engine() == before
+
+    def test_env_var_mirrors_engine(self):
+        """Pool workers inherit the engine through the environment."""
+        before = get_default_engine()
+        try:
+            set_default_engine("vf2")
+            assert os.environ.get("REPRO_MATCH_ENGINE") == "vf2"
+            set_default_engine("generic_join")
+            assert os.environ.get("REPRO_MATCH_ENGINE") == "generic_join"
+        finally:
+            set_default_engine(before)
+
+    def test_method_override_beats_default(self, triangle_target):
+        pattern = build({0: "a", 1: "b"}, [(0, 1, "x")])
+        with using_engine("vf2"):
+            gj = find_embeddings(pattern, triangle_target, method="generic_join")
+        with using_engine("generic_join"):
+            vf2 = find_embeddings(pattern, triangle_target, method="vf2")
+        assert gj == vf2
