@@ -1,0 +1,264 @@
+"""Durability overhead and recovery cost of the log-structured catalog.
+
+Three questions, one benchmark:
+
+1. **What does the WAL cost?**  The same mutation stream runs against an
+   in-memory catalog and a durable one; every durable mutation pays one
+   checksummed, fsync'd log record before it applies.
+2. **What does recovery cost as the log grows?**  At checkpoints along the
+   stream the directory is reopened cold — snapshot load plus WAL replay —
+   so the trajectory records recovery seconds as a function of log length.
+3. **Is recovery correct?**  At the end, threshold answers from the
+   recovered catalog are asserted byte-identical to a from-scratch build
+   over the recovered database (the recovery invariant).
+
+Run modes::
+
+    python benchmarks/bench_catalog_durability.py            # full profile
+    python benchmarks/bench_catalog_durability.py --smoke    # CI-friendly
+
+Each run appends one trajectory point to ``BENCH_durability.json`` (``--out``
+to redirect), so the durability-overhead history accumulates alongside the
+code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import GraphCatalog, QueryPlanner, SearchConfig, VerificationConfig
+from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_query_workload
+from repro.pmi import BoundConfig, FeatureSelectionConfig, ProbabilisticMatrixIndex
+from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.timer import Timer
+
+try:
+    from benchmarks.conftest import BENCH_SEED, print_table
+except ModuleNotFoundError:  # direct script run: repo root not on sys.path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import BENCH_SEED, print_table
+
+PROBABILITY_THRESHOLD = 0.3
+DISTANCE_THRESHOLD = 1
+
+FEATURE_CONFIG = FeatureSelectionConfig(
+    alpha=0.1, beta=0.15, gamma=0.1, max_vertices=3, max_features=12
+)
+BOUND_CONFIG = BoundConfig(num_samples=120)
+SEARCH_CONFIG = SearchConfig(
+    verification=VerificationConfig(method="sampling", num_samples=200)
+)
+
+FULL = {"base_graphs": 18, "mutations": 24, "checkpoints": 6}
+SMOKE = {"base_graphs": 10, "mutations": 10, "checkpoints": 3}
+
+
+def _dataset(num_graphs: int, seed: int):
+    return generate_ppi_database(
+        PPIDatasetConfig(
+            num_graphs=num_graphs,
+            num_families=3,
+            vertices_per_graph=10,
+            edges_per_graph=13,
+            motif_vertices=3,
+            motif_edges=3,
+            mean_edge_probability=0.55,
+            probability_spread=0.2,
+        ),
+        rng=seed,
+    )
+
+
+def _mutation_stream(num_base: int, num_mutations: int, arrivals):
+    """A deterministic mixed add/remove/update stream (adds dominate, so
+    the pool of live ids never drains)."""
+    rng = np.random.default_rng(BENCH_SEED)
+    live = list(range(num_base))
+    next_id = num_base
+    stream = []
+    for index in range(num_mutations):
+        kind = ("add", "add", "remove", "update")[index % 4]
+        if kind == "add":
+            stream.append(("add", arrivals[index % len(arrivals)]))
+            live.append(next_id)
+            next_id += 1
+        elif kind == "remove":
+            victim = live.pop(int(rng.integers(len(live))))
+            stream.append(("remove", victim))
+        else:
+            target = live[int(rng.integers(len(live)))]
+            stream.append(("update", target, arrivals[index % len(arrivals)]))
+    return stream
+
+
+def _apply(catalog: GraphCatalog, op) -> None:
+    if op[0] == "add":
+        catalog.add_graph(op[1])
+    elif op[0] == "remove":
+        catalog.remove_graph(op[1])
+    else:
+        catalog.update_graph(op[1], op[2])
+
+
+def _rebuild_planner(catalog: GraphCatalog) -> QueryPlanner:
+    """The from-scratch build recovery must agree with."""
+    items = catalog.live_items()
+    graphs = [graph for _, graph in items]
+    ids = [external_id for external_id, _ in items]
+    pmi = ProbabilisticMatrixIndex(
+        feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG
+    ).build(graphs, features=catalog.features, rng=catalog.build_root, graph_ids=ids)
+    structural = StructuralFeatureIndex(
+        embedding_limit=FEATURE_CONFIG.embedding_limit
+    ).build([graph.skeleton for graph in graphs], catalog.features)
+    return QueryPlanner(
+        graphs, pmi, structural, graph_ids=np.asarray(ids, dtype=np.int64)
+    )
+
+
+def run_durability_benchmark(profile: dict) -> dict:
+    base = _dataset(profile["base_graphs"], BENCH_SEED)
+    arrivals = _dataset(profile["mutations"], BENCH_SEED + 1).graphs
+    query = generate_query_workload(
+        base.graphs, query_size=4, num_queries=1, rng=BENCH_SEED
+    ).queries()[0]
+    stream = _mutation_stream(len(base.graphs), profile["mutations"], arrivals)
+    directory = Path(tempfile.mkdtemp(prefix="bench_durability_")) / "catalog"
+
+    build_kwargs = dict(
+        feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=BENCH_SEED
+    )
+    memory_catalog = GraphCatalog.build(base.graphs, **build_kwargs)
+    persist_timer = Timer()
+    with persist_timer:
+        durable_catalog = GraphCatalog.build(
+            base.graphs, directory=directory, **build_kwargs
+        )
+
+    # 1. the same stream against both catalogs: the delta is the WAL cost
+    memory_timer = Timer()
+    with memory_timer:
+        for op in stream:
+            _apply(memory_catalog, op)
+    memory_catalog.close()
+
+    # 2. interleave checkpoints: cold-reopen the directory as the log grows
+    every = max(1, len(stream) // profile["checkpoints"])
+    recovery_rows = []
+    durable_seconds = 0.0
+    for index, op in enumerate(stream):
+        timer = Timer()
+        with timer:
+            _apply(durable_catalog, op)
+        durable_seconds += timer.elapsed
+        if (index + 1) % every == 0 or index == len(stream) - 1:
+            open_timer = Timer()
+            with open_timer:
+                reopened = GraphCatalog.open(directory)
+            recovery_rows.append(
+                [reopened.wal_records, reopened.num_live, f"{open_timer.elapsed:.3f}"]
+            )
+            reopened.close()
+
+    # 3. the recovery invariant: recovered answers == from-scratch rebuild
+    recovered = GraphCatalog.open(directory)
+    recovered_result = recovered.query(
+        query,
+        PROBABILITY_THRESHOLD,
+        DISTANCE_THRESHOLD,
+        config=SEARCH_CONFIG,
+        rng=BENCH_SEED,
+    )
+    rebuilt_result = _rebuild_planner(recovered).execute(
+        query,
+        PROBABILITY_THRESHOLD,
+        DISTANCE_THRESHOLD,
+        config=SEARCH_CONFIG,
+        rng=BENCH_SEED,
+    )
+    parity = [(a.graph_id, a.probability) for a in recovered_result.answers] == [
+        (a.graph_id, a.probability) for a in rebuilt_result.answers
+    ]
+    recovered.close()
+    durable_catalog.close()
+
+    print_table(
+        "recovery cost vs log length (cold open = snapshot + WAL replay)",
+        ["wal_records", "live", "open_seconds"],
+        recovery_rows,
+    )
+    wal_overhead = durable_seconds / memory_timer.elapsed if memory_timer.elapsed else 1.0
+    report = {
+        "num_mutations": len(stream),
+        "persist_seconds": round(persist_timer.elapsed, 4),
+        "memory_mutations_per_second": round(len(stream) / memory_timer.elapsed, 1),
+        "durable_mutations_per_second": round(len(stream) / durable_seconds, 1),
+        "wal_overhead_factor": round(wal_overhead, 2),
+        "final_recovery_seconds": float(recovery_rows[-1][2]),
+        "recovery_trajectory": [
+            {"wal_records": row[0], "open_seconds": float(row[2])}
+            for row in recovery_rows
+        ],
+        "recovery_parity": parity,
+    }
+    print("\nsummary:", json.dumps(report, indent=2))
+    assert parity, "recovered answers diverged from the from-scratch rebuild"
+    return report
+
+
+def append_trajectory_point(path: Path, point: dict) -> None:
+    """Append one run to the JSON trajectory (a list of run records)."""
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(point)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small dataset, fewer checkpoints (CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_durability.json"),
+        help="trajectory file to append this run's point to",
+    )
+    args = parser.parse_args()
+    report = run_durability_benchmark(SMOKE if args.smoke else FULL)
+    point = {
+        "bench": "catalog_durability",
+        "mode": "smoke" if args.smoke else "full",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        **report,
+    }
+    append_trajectory_point(args.out, point)
+    print(f"trajectory point appended to {args.out}")
+
+
+def test_catalog_durability_benchmark(benchmark):
+    benchmark.pedantic(
+        lambda: run_durability_benchmark(SMOKE), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,7 @@ from repro.core.catalog import (
     SegmentedPmiView,
     SegmentedStructuralView,
 )
+from repro.core.wal import WriteAheadLog, wal_filename
 
 __all__ = [
     "QueryResult",
@@ -101,4 +102,6 @@ __all__ = [
     "GraphCatalog",
     "SegmentedPmiView",
     "SegmentedStructuralView",
+    "WriteAheadLog",
+    "wal_filename",
 ]

@@ -52,11 +52,33 @@ indexed against the base features, and ``compact()`` deliberately does not
 re-mine (that would change pruning behaviour and break the rebuild-parity
 contract).  Re-mining is a full :meth:`GraphCatalog.build` — by design an
 explicit, offline decision.
+
+**Durability.**  A catalog becomes *durable* by attaching a directory
+(:meth:`persist`, or ``directory=`` on :meth:`build` / :meth:`from_index`):
+the current state is snapshotted — per shard, the graphs (JSON database),
+the base PMI (npz + JSON), and the structural count matrix, all written
+atomically — and from then on every ``add_graph`` / ``remove_graph`` /
+``update_graph`` appends one checksummed, fsync'd record to the generation's
+write-ahead log (:mod:`repro.core.wal`) *before* the in-memory mutation
+applies.  :meth:`open` reverses the recipe: load the snapshot named by the
+atomically swapped ``CURRENT`` pointer, truncate a torn final WAL record if
+a crash left one, and replay the tail through the ordinary mutation paths —
+the stable-external-id contract then makes the recovered catalog's answers
+byte-identical to a from-scratch build over the surviving database.
+``compact()`` rolls the generation: new snapshot, new empty log, one atomic
+``CURRENT`` swap as the commit point, old generation retired afterwards
+(unlink semantics keep already-open readers unharmed; a crash anywhere
+before the swap leaves the previous generation fully authoritative).
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
 import operator
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -69,16 +91,48 @@ from repro.core.sharding import (
     partition_ranges,
     route_to_smallest,
 )
-from repro.exceptions import CatalogError
+from repro.core.wal import WriteAheadLog, wal_filename
+from repro.exceptions import CatalogError, WalError
+from repro.graphs.io import (
+    load_database,
+    probabilistic_graph_from_dict,
+    probabilistic_graph_to_dict,
+    save_database,
+)
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.bounds import BoundConfig
 from repro.pmi.features import FeatureMiner, FeatureSelectionConfig
 from repro.pmi.index import PMIRow, ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.atomic_io import (
+    atomic_write_text,
+    atomic_writer,
+    discard_stale_tmp_files,
+    fsync_directory,
+)
 from repro.utils.rng import RandomLike, rng_root
 
 __all__ = ["GraphCatalog", "SegmentedPmiView", "SegmentedStructuralView"]
+
+SNAPSHOT_FORMAT_VERSION = 1
+CURRENT_FILENAME = "CURRENT"
+_SNAPSHOT_META_FILENAME = "catalog.json"
+_SHARD_GRAPHS_FILENAME = "graphs.json"
+_SHARD_COUNTS_FILENAME = "structural_counts.npy"
+
+
+def _generation_dirname(generation: int) -> str:
+    return f"gen_{generation:08d}"
+
+
+@dataclass
+class _Durability:
+    """A durable catalog's on-disk attachment: directory, generation, log."""
+
+    directory: Path
+    generation: int
+    wal: WriteAheadLog
 
 
 # ----------------------------------------------------------------------
@@ -286,6 +340,8 @@ class GraphCatalog:
         self._root = root
         self._num_shards = num_shards
         self._max_workers = max_workers
+        self._durability: _Durability | None = None
+        self._wal_suppressed = False
         self._planner_cache: QueryPlanner | ShardedPlanner | None = None
         # external id -> (store index, storage row); covers live rows only
         self._live: dict[int, tuple[int, int]] = {}
@@ -313,13 +369,16 @@ class GraphCatalog:
         rng: RandomLike = None,
         num_shards: int = 1,
         max_workers: int | None = None,
+        directory: str | Path | None = None,
     ) -> "GraphCatalog":
         """Mine features once, build the base indexes, seed external ids 0..N-1.
 
         With the same ``rng`` (an int seed, for reproducibility) this base
         build is cell-for-cell identical to
         ``ProbabilisticGraphDatabase.build_index(rng=...)`` over the same
-        graphs — the catalog only *adds* the mutation layer on top.
+        graphs — the catalog only *adds* the mutation layer on top.  Passing
+        a ``directory`` makes the catalog durable from birth (see
+        :meth:`persist`).
         """
         if not graphs:
             raise CatalogError("the catalog needs at least one probabilistic graph")
@@ -344,7 +403,10 @@ class GraphCatalog:
             stores.append(
                 _ShardStore(slice_graphs, slice_ids, base_pmi, base_structural)
             )
-        return cls(stores, feature_cfg, bound_cfg, root, num_shards, max_workers)
+        catalog = cls(stores, feature_cfg, bound_cfg, root, num_shards, max_workers)
+        if directory is not None:
+            catalog.persist(directory)
+        return catalog
 
     @classmethod
     def from_index(
@@ -354,6 +416,7 @@ class GraphCatalog:
         structural_index: StructuralFeatureIndex,
         num_shards: int = 1,
         max_workers: int | None = None,
+        directory: str | Path | None = None,
     ) -> "GraphCatalog":
         """Adopt an already-built (or loaded) sequential index as the base.
 
@@ -386,7 +449,7 @@ class GraphCatalog:
             )
             for spec in specs
         ]
-        return cls(
+        catalog = cls(
             stores,
             pmi.feature_config,
             pmi.bound_config,
@@ -394,6 +457,322 @@ class GraphCatalog:
             num_shards,
             max_workers,
         )
+        if directory is not None:
+            catalog.persist(directory)
+        return catalog
+
+    # ------------------------------------------------------------------
+    # durability (snapshot generations + write-ahead log)
+    # ------------------------------------------------------------------
+    def persist(self, directory: str | Path) -> "GraphCatalog":
+        """Attach ``directory`` and make every future mutation durable.
+
+        Compacts first (snapshots store compacted bases: deltas folded,
+        tombstones reclaimed — by the stable-id contract this moves no
+        answer), writes snapshot generation 0, starts ``wal_00000000.log``,
+        and commits by atomically writing the ``CURRENT`` pointer.  From then
+        on each mutation is WAL-logged and fsync'd *before* it applies in
+        memory, so :meth:`open` can always recover the exact mutation history
+        that completed.  Refuses a directory that already holds a durable
+        catalog (use :meth:`open`) and a catalog that is already attached.
+        """
+        if self._durability is not None:
+            raise CatalogError(
+                "this catalog is already durable at "
+                f"{str(self._durability.directory)!r}"
+            )
+        directory = Path(directory)
+        if (directory / CURRENT_FILENAME).exists():
+            raise CatalogError(
+                f"{str(directory)!r} already holds a durable catalog; "
+                "recover it with GraphCatalog.open()"
+            )
+        self.compact()
+        directory.mkdir(parents=True, exist_ok=True)
+        self._write_snapshot(directory, 0)
+        wal = WriteAheadLog.create(directory / wal_filename(0), 0)
+        self._write_current(directory, 0)
+        self._durability = _Durability(directory=directory, generation=0, wal=wal)
+        return self
+
+    @classmethod
+    def open(
+        cls, directory: str | Path, max_workers: int | None = None
+    ) -> "GraphCatalog":
+        """Recover a durable catalog: snapshot + WAL-tail replay.
+
+        Loads the generation named by ``CURRENT``, opens its write-ahead log
+        (truncating a torn final record — the only damage a crash mid-append
+        can cause), and replays the surviving mutation records through the
+        ordinary ``add_graph``/``remove_graph``/``update_graph`` paths.
+        Because every RNG stream and ordering keys on stable external ids,
+        the recovered catalog's threshold, exact, and top-k answers are
+        byte-identical to a from-scratch build over the surviving
+        ``(id → graph)`` database — the crash-recovery invariant the test
+        suite kills processes to check.  Debris of uncommitted generations
+        and interrupted atomic writes is swept out afterwards.
+        """
+        directory = Path(directory)
+        current_path = directory / CURRENT_FILENAME
+        if not current_path.exists():
+            raise CatalogError(
+                f"no durable catalog at {str(directory)!r} (missing CURRENT); "
+                "create one with persist() / build(directory=...)"
+            )
+        try:
+            current = json.loads(current_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+            raise CatalogError(
+                f"corrupt CURRENT pointer at {str(current_path)!r}: {error}"
+            ) from error
+        generation = current.get("generation")
+        if current.get("type") != "graph_catalog_current" or not isinstance(
+            generation, int
+        ):
+            raise CatalogError(
+                f"malformed CURRENT pointer at {str(current_path)!r}: {current!r}"
+            )
+        catalog = cls._load_snapshot(directory, generation, max_workers)
+        wal, records = WriteAheadLog.open(
+            directory / wal_filename(generation), generation=generation
+        )
+        catalog._durability = _Durability(
+            directory=directory, generation=generation, wal=wal
+        )
+        with catalog._wal_suppression():
+            for record in records:
+                catalog._apply_record(record)
+        catalog._discard_retired(directory, generation)
+        return catalog
+
+    @property
+    def is_durable(self) -> bool:
+        """True when mutations are write-ahead logged to an attached directory."""
+        return self._durability is not None
+
+    @property
+    def durable_directory(self) -> Path | None:
+        """The attached directory, or None for an in-memory catalog."""
+        return None if self._durability is None else self._durability.directory
+
+    @property
+    def generation(self) -> int | None:
+        """The committed snapshot generation (bumped by :meth:`compact`)."""
+        return None if self._durability is None else self._durability.generation
+
+    @property
+    def wal_records(self) -> int:
+        """Mutation records in the active log (0 right after a compact)."""
+        if self._durability is None:
+            return 0
+        return max(self._durability.wal.record_count - 1, 0)
+
+    # -- snapshot writing ----------------------------------------------
+    def _write_snapshot(self, directory: Path, generation: int) -> None:
+        """Write this (compacted) catalog as snapshot ``generation``.
+
+        Every file goes through the atomic tmp+fsync+rename helpers; the
+        generation directory itself only becomes authoritative when the
+        ``CURRENT`` pointer names it, so debris of a crash mid-snapshot is
+        invisible to :meth:`open` (and removed by the next attempt: a
+        generation is only ever written before its commit).
+        """
+        gen_dir = directory / _generation_dirname(generation)
+        if gen_dir.exists():
+            shutil.rmtree(gen_dir)
+        for store_index, store in enumerate(self._stores):
+            shard_dir = gen_dir / f"shard_{store_index:03d}"
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            save_database(store.graphs, shard_dir / _SHARD_GRAPHS_FILENAME)
+            store.base_pmi.save(shard_dir)
+            with atomic_writer(shard_dir / _SHARD_COUNTS_FILENAME) as handle:
+                np.save(
+                    handle,
+                    np.asarray(
+                        store.base_structural.counts_matrix(), dtype=np.int32
+                    ),
+                )
+            fsync_directory(shard_dir)
+        meta = {
+            "type": "graph_catalog_snapshot",
+            "version": SNAPSHOT_FORMAT_VERSION,
+            "build_root": int(self._root),
+            "num_shards": int(self._num_shards),
+            "next_external_id": int(self._next_external_id),
+            "shards": [
+                {"external_ids": [int(eid) for eid in store.external_ids]}
+                for store in self._stores
+            ],
+        }
+        atomic_write_text(gen_dir / _SNAPSHOT_META_FILENAME, json.dumps(meta))
+        fsync_directory(gen_dir)
+        fsync_directory(directory)
+
+    @staticmethod
+    def _write_current(directory: Path, generation: int) -> None:
+        """Atomically point ``CURRENT`` at ``generation`` — the commit."""
+        atomic_write_text(
+            directory / CURRENT_FILENAME,
+            json.dumps(
+                {
+                    "type": "graph_catalog_current",
+                    "version": SNAPSHOT_FORMAT_VERSION,
+                    "generation": int(generation),
+                }
+            ),
+        )
+
+    @classmethod
+    def _load_snapshot(
+        cls, directory: Path, generation: int, max_workers: int | None
+    ) -> "GraphCatalog":
+        """Reconstruct the catalog a snapshot generation stores."""
+        gen_dir = directory / _generation_dirname(generation)
+        meta_path = gen_dir / _SNAPSHOT_META_FILENAME
+        if not meta_path.exists():
+            raise CatalogError(
+                f"snapshot generation {generation} at {str(gen_dir)!r} is "
+                "missing its catalog.json; the durable directory is damaged"
+            )
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+            raise CatalogError(
+                f"corrupt snapshot metadata at {str(meta_path)!r}: {error}"
+            ) from error
+        if meta.get("type") != "graph_catalog_snapshot":
+            raise CatalogError(
+                f"not a catalog snapshot payload: {meta.get('type')!r}"
+            )
+        if meta.get("version") != SNAPSHOT_FORMAT_VERSION:
+            raise CatalogError(
+                f"unsupported catalog snapshot version {meta.get('version')!r}; "
+                f"this build reads version {SNAPSHOT_FORMAT_VERSION}"
+            )
+        stores = []
+        for store_index, shard_meta in enumerate(meta["shards"]):
+            shard_dir = gen_dir / f"shard_{store_index:03d}"
+            graphs = load_database(shard_dir / _SHARD_GRAPHS_FILENAME)
+            pmi = ProbabilisticMatrixIndex.load(shard_dir)
+            try:
+                counts = np.load(shard_dir / _SHARD_COUNTS_FILENAME)
+            except (OSError, ValueError, EOFError) as error:
+                raise CatalogError(
+                    "corrupt structural counts at "
+                    f"{str(shard_dir / _SHARD_COUNTS_FILENAME)!r}: {error}"
+                ) from error
+            external_ids = [int(eid) for eid in shard_meta["external_ids"]]
+            if (
+                len(graphs) != len(external_ids)
+                or pmi.num_graphs != len(graphs)
+                or counts.shape[0] != len(graphs)
+            ):
+                raise CatalogError(
+                    f"snapshot shard {store_index} at {str(shard_dir)!r} is "
+                    "inconsistent: graphs, external ids, PMI rows and count "
+                    "rows disagree"
+                )
+            structural = StructuralFeatureIndex.from_counts(
+                pmi.features,
+                counts,
+                embedding_limit=pmi.feature_config.embedding_limit,
+            )
+            stores.append(_ShardStore(graphs, external_ids, pmi, structural))
+        catalog = cls(
+            stores,
+            stores[0].base_pmi.feature_config,
+            stores[0].base_pmi.bound_config,
+            int(meta["build_root"]),
+            int(meta["num_shards"]),
+            max_workers,
+        )
+        catalog._next_external_id = max(
+            catalog._next_external_id, int(meta["next_external_id"])
+        )
+        return catalog
+
+    # -- logging and replay --------------------------------------------
+    def _wal_active(self) -> bool:
+        return self._durability is not None and not self._wal_suppressed
+
+    @contextlib.contextmanager
+    def _wal_suppression(self):
+        """Context that applies mutations without logging them (replay, and
+        the remove+add pair inside an already-logged ``update_graph``)."""
+        previous = self._wal_suppressed
+        self._wal_suppressed = True
+        try:
+            yield
+        finally:
+            self._wal_suppressed = previous
+
+    def _apply_record(self, record: dict) -> None:
+        """Re-apply one WAL mutation record through the normal paths."""
+        op = record.get("op")
+        if op == "add":
+            self.add_graph(
+                probabilistic_graph_from_dict(record["graph"]),
+                external_id=record["external_id"],
+            )
+        elif op == "remove":
+            self.remove_graph(record["external_id"])
+        elif op == "update":
+            self.update_graph(
+                record["external_id"],
+                probabilistic_graph_from_dict(record["graph"]),
+            )
+        else:
+            raise WalError(f"unknown WAL operation {op!r} (lsn {record.get('lsn')})")
+
+    def _roll_generation(self) -> None:
+        """Snapshot the compacted state as a new generation and retire the old.
+
+        Commit order is the whole story: (1) write snapshot ``g+1`` (atomic
+        files, uncommitted), (2) create ``wal_{g+1}`` with its header,
+        (3) atomically swap ``CURRENT`` — the single commit point — and only
+        then (4) delete the old snapshot and log.  A crash anywhere before
+        (3) leaves generation ``g`` with its full WAL authoritative (replay
+        reproduces the pre-compact state, which answers identically); a crash
+        after (3) leaves retired files for :meth:`open` to sweep.  Readers
+        holding the old generation open keep working through (4) — POSIX
+        unlink removes names, not open files — so compaction never blocks
+        reads.
+        """
+        durability = self._durability
+        new_generation = durability.generation + 1
+        self._write_snapshot(durability.directory, new_generation)
+        new_wal = WriteAheadLog.create(
+            durability.directory / wal_filename(new_generation), new_generation
+        )
+        self._write_current(durability.directory, new_generation)
+        old_generation = durability.generation
+        durability.wal.close()
+        durability.wal = new_wal
+        durability.generation = new_generation
+        self._discard_retired(durability.directory, new_generation)
+        assert old_generation != new_generation
+
+    @staticmethod
+    def _discard_retired(directory: Path, keep_generation: int) -> None:
+        """Best-effort sweep of retired/uncommitted generations, logs of other
+        generations, and ``*.tmp`` debris of interrupted atomic writes."""
+        discard_stale_tmp_files(directory)
+        keep_dir = _generation_dirname(keep_generation)
+        keep_wal = wal_filename(keep_generation)
+        for path in directory.iterdir():
+            name = path.name
+            if path.is_dir() and name.startswith("gen_") and name != keep_dir:
+                shutil.rmtree(path, ignore_errors=True)
+            elif (
+                path.is_file()
+                and name.startswith("wal_")
+                and name.endswith(".log")
+                and name != keep_wal
+            ):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
     # introspection
@@ -496,6 +875,14 @@ class GraphCatalog:
                 f"external id {external_id} is live; remove it first or use "
                 "update_graph()"
             )
+        if self._wal_active():
+            self._durability.wal.append(
+                {
+                    "op": "add",
+                    "external_id": int(external_id),
+                    "graph": probabilistic_graph_to_dict(graph),
+                }
+            )
         store_index = route_to_smallest(self.shard_live_counts())
         position = self._stores[store_index].append(graph, external_id, self._root)
         self._live[external_id] = (store_index, position)
@@ -507,6 +894,10 @@ class GraphCatalog:
         """Tombstone the live row of ``external_id`` (storage reclaimed by
         :meth:`compact`); raises :class:`CatalogError` if the id is not live."""
         store_index, position = self._locate(external_id)
+        if self._wal_active():
+            self._durability.wal.append(
+                {"op": "remove", "external_id": int(external_id)}
+            )
         self._stores[store_index].tombstone[position] = True
         del self._live[external_id]
         self._invalidate()
@@ -520,8 +911,19 @@ class GraphCatalog:
         update answers exactly as if the graph had always been this version.
         """
         self._locate(external_id)  # raises if not live
-        self.remove_graph(external_id)
-        self.add_graph(graph, external_id=external_id)
+        if self._wal_active():
+            # one atomic record: a torn tail can drop the whole update but
+            # never leave the remove applied without the add
+            self._durability.wal.append(
+                {
+                    "op": "update",
+                    "external_id": int(external_id),
+                    "graph": probabilistic_graph_to_dict(graph),
+                }
+            )
+        with self._wal_suppression():
+            self.remove_graph(external_id)
+            self.add_graph(graph, external_id=external_id)
 
     def compact(self) -> "GraphCatalog":
         """Fold delta rows and reclaim tombstones into fresh base matrices.
@@ -578,6 +980,8 @@ class GraphCatalog:
             for store_index, store in enumerate(stores)
             for position in store.live_positions()
         }
+        if self._durability is not None:
+            self._roll_generation()
         return self
 
     # ------------------------------------------------------------------
@@ -645,8 +1049,11 @@ class GraphCatalog:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the cached planner and any sharded worker pool (idempotent)."""
+        """Release the cached planner, any sharded worker pool, and the WAL
+        append handle (idempotent; the catalog stays usable and durable)."""
         self._invalidate()
+        if self._durability is not None:
+            self._durability.wal.close()
 
     def __enter__(self) -> "GraphCatalog":
         return self

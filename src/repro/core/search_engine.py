@@ -171,7 +171,10 @@ class ProbabilisticGraphDatabase:
         return self.planner is not None
 
     def to_catalog(
-        self, num_shards: int = 1, max_workers: int | None = None
+        self,
+        num_shards: int = 1,
+        max_workers: int | None = None,
+        directory=None,
     ) -> "GraphCatalog":
         """Adopt this engine's built index as a mutable :class:`GraphCatalog`.
 
@@ -182,7 +185,10 @@ class ProbabilisticGraphDatabase:
         this engine's until the first mutation.  Only a sequential
         (``num_shards=1``) build can be adopted: a sharded engine holds its
         matrices sliced inside the shards; build the catalog directly with
-        :meth:`GraphCatalog.build` in that case.
+        :meth:`GraphCatalog.build` in that case.  Passing a ``directory``
+        makes the adopted catalog durable (snapshot + write-ahead log; see
+        :meth:`GraphCatalog.persist`), recoverable with
+        :meth:`GraphCatalog.open`.
         """
         from repro.core.catalog import GraphCatalog
 
@@ -199,6 +205,7 @@ class ProbabilisticGraphDatabase:
             self.structural_index,
             num_shards=num_shards,
             max_workers=max_workers,
+            directory=directory,
         )
 
     def close(self) -> None:

@@ -56,6 +56,7 @@ from repro.pmi.features import Feature, FeatureMiner, FeatureSelectionConfig
 from repro.pmi.bounds import BoundConfig
 from repro.pmi.index import ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.atomic_io import atomic_write_text, atomic_writer
 from repro.utils.rng import RandomLike, rng_root
 
 
@@ -303,8 +304,10 @@ def build_shard(
         directory.mkdir(parents=True, exist_ok=True)
         (directory / _SHARD_SIDECAR).unlink(missing_ok=True)
         pmi.save(directory)
-        np.save(directory / _SHARD_COUNTS, structural.counts_matrix())
-        (directory / _SHARD_SIDECAR).write_text(
+        with atomic_writer(directory / _SHARD_COUNTS) as handle:
+            np.save(handle, structural.counts_matrix())
+        atomic_write_text(
+            directory / _SHARD_SIDECAR,
             json.dumps(
                 {
                     "root": root,
@@ -312,7 +315,7 @@ def build_shard(
                     "stop": spec.stop,
                     "graphs": _graphs_fingerprint(graphs),
                 }
-            )
+            ),
         )
     return DatabaseShard(spec=spec, graphs=graphs, pmi=pmi, structural_index=structural)
 

@@ -61,6 +61,13 @@ class CatalogError(ReproError):
     catalog from an index with no recorded build root."""
 
 
+class WalError(CatalogError):
+    """Raised when a write-ahead log is unreadable beyond crash semantics: a
+    corrupt record *before* the final one, a sequence-number gap, or a header
+    that does not match the generation being opened.  (A torn final record is
+    expected crash damage, silently truncated on open — never this error.)"""
+
+
 class VerificationError(ReproError):
     """Raised when verification cannot be carried out (for example exact
     verification requested on a graph that is too large to enumerate)."""

@@ -20,6 +20,7 @@ rebuilt with :meth:`load` so one expensive build can serve many processes.
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -30,6 +31,7 @@ from repro.graphs.io import labeled_graph_from_dict, labeled_graph_to_dict
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.bounds import BoundConfig, SipBounds, compute_sip_bounds
 from repro.pmi.features import Feature, FeatureMiner, FeatureSelectionConfig
+from repro.utils.atomic_io import atomic_write_text, atomic_writer
 from repro.utils.rng import BUILD_STREAM, RandomLike, derive_rng, rng_root
 from repro.utils.rows import resolve_row_selector
 from repro.utils.timer import Timer
@@ -462,20 +464,23 @@ class ProbabilisticMatrixIndex:
         """Persist the built index to ``path`` (a directory).
 
         Numeric columns go to ``pmi_arrays.npz``; features, configs and the
-        sparse chosen-set table go to ``pmi_meta.json``.
+        sparse chosen-set table go to ``pmi_meta.json``.  Both files are
+        written atomically (tmp + fsync + rename), so a crash mid-save leaves
+        the previous payload intact rather than a torn one.
         """
         self._require_built()
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
-            directory / ARRAYS_FILENAME,
-            lower=self._lower,
-            upper=self._upper,
-            present=self._present,
-            num_embeddings=self._num_embeddings,
-            num_cuts=self._num_cuts,
-            feature_ids=self._feature_ids,
-        )
+        with atomic_writer(directory / ARRAYS_FILENAME) as handle:
+            np.savez_compressed(
+                handle,
+                lower=self._lower,
+                upper=self._upper,
+                present=self._present,
+                num_embeddings=self._num_embeddings,
+                num_cuts=self._num_cuts,
+                feature_ids=self._feature_ids,
+            )
         meta = {
             "type": "probabilistic_matrix_index",
             "version": PERSIST_FORMAT_VERSION,
@@ -498,7 +503,7 @@ class ProbabilisticMatrixIndex:
                 for (graph_id, feature_id), (embeddings, cuts) in self._chosen.items()
             },
         }
-        (directory / META_FILENAME).write_text(json.dumps(meta))
+        atomic_write_text(directory / META_FILENAME, json.dumps(meta))
 
     @classmethod
     def load(cls, path: str | Path) -> "ProbabilisticMatrixIndex":
@@ -508,7 +513,14 @@ class ProbabilisticMatrixIndex:
         arrays_path = directory / ARRAYS_FILENAME
         if not meta_path.exists() or not arrays_path.exists():
             raise IndexError_(f"no persisted PMI at {str(directory)!r}")
-        meta = json.loads(meta_path.read_text())
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+            raise IndexError_(
+                f"corrupt PMI metadata at {str(meta_path)!r}: {error}; the "
+                "payload was probably torn by a crash mid-write — restore the "
+                "directory from a catalog snapshot or rebuild the index"
+            ) from error
         if meta.get("type") != "probabilistic_matrix_index":
             raise IndexError_(f"not a PMI payload: {meta.get('type')!r}")
         if meta.get("version") != PERSIST_FORMAT_VERSION:
@@ -530,21 +542,31 @@ class ProbabilisticMatrixIndex:
             for entry in meta["features"]
         ]
         index._index_features()
-        with np.load(arrays_path) as arrays:
-            saved_feature_ids = arrays["feature_ids"]
-            expected_shape = (meta["database_size"], len(index.features))
-            if arrays["lower"].shape != expected_shape or not np.array_equal(
-                saved_feature_ids, index._feature_ids
-            ):
-                raise IndexError_(
-                    f"inconsistent PMI payload at {str(directory)!r}: array shapes "
-                    "or feature ids disagree with the JSON metadata"
-                )
-            index._lower = arrays["lower"]
-            index._upper = arrays["upper"]
-            index._present = arrays["present"]
-            index._num_embeddings = arrays["num_embeddings"]
-            index._num_cuts = arrays["num_cuts"]
+        try:
+            with np.load(arrays_path) as arrays:
+                saved_feature_ids = arrays["feature_ids"]
+                expected_shape = (meta["database_size"], len(index.features))
+                if arrays["lower"].shape != expected_shape or not np.array_equal(
+                    saved_feature_ids, index._feature_ids
+                ):
+                    raise IndexError_(
+                        f"inconsistent PMI payload at {str(directory)!r}: array shapes "
+                        "or feature ids disagree with the JSON metadata"
+                    )
+                index._lower = arrays["lower"]
+                index._upper = arrays["upper"]
+                index._present = arrays["present"]
+                index._num_embeddings = arrays["num_embeddings"]
+                index._num_cuts = arrays["num_cuts"]
+        except (zipfile.BadZipFile, KeyError, ValueError, EOFError, OSError) as error:
+            # np.load surfaces truncation as any of these depending on where
+            # the bytes stop; a bare propagated error used to leave no hint of
+            # *which* file died or what to do about it
+            raise IndexError_(
+                f"corrupt PMI arrays at {str(arrays_path)!r}: {error}; the npz "
+                "payload is truncated or damaged — restore the directory from "
+                "a catalog snapshot or rebuild the index"
+            ) from error
         index._chosen = {}
         for key, (embeddings, cuts) in meta["chosen"].items():
             graph_id, feature_id = key.split(":")

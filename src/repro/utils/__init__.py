@@ -1,6 +1,19 @@
-"""Small shared utilities: random number handling, timers and logging."""
+"""Small shared utilities: random number handling, timers, atomic file IO."""
 
+from repro.utils.atomic_io import (
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    discard_stale_tmp_files,
+)
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Timer
 
-__all__ = ["ensure_rng", "Timer"]
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_writer",
+    "discard_stale_tmp_files",
+    "ensure_rng",
+    "Timer",
+]

@@ -1,0 +1,103 @@
+"""Unit tests for the shared atomic-write helpers every persistence path
+(PMI save, graph databases, shard caches, catalog snapshots, WAL commits)
+now routes through."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import atomic_io
+from repro.utils.atomic_io import (
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    discard_stale_tmp_files,
+)
+
+
+class TestAtomicWriter:
+    def test_writes_the_payload(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_writer(target) as handle:
+            handle.write(b"payload")
+        assert target.read_bytes() == b"payload"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.bin"
+        with atomic_writer(target) as handle:
+            handle.write(b"x")
+        assert target.read_bytes() == b"x"
+
+    def test_leaves_no_tmp_debris_on_success(self, tmp_path):
+        with atomic_writer(tmp_path / "out.bin") as handle:
+            handle.write(b"x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_failure_preserves_the_previous_payload(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write(b"half of the new payl")
+                raise RuntimeError("crash mid-write")
+        assert target.read_bytes() == b"old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_unapplied_rename_preserves_the_previous_payload(
+        self, tmp_path, monkeypatch
+    ):
+        # a crash after the tmp file is durable but before os.replace lands:
+        # the target must still hold the old payload
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+
+        def refuse(source, destination):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(atomic_io, "replace_file", refuse)
+        with pytest.raises(OSError):
+            with atomic_writer(target) as handle:
+                handle.write(b"new")
+        assert target.read_bytes() == b"old"
+
+    def test_text_mode(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_writer(target, mode="w") as handle:
+            handle.write("hello")
+        assert target.read_text() == "hello"
+
+
+class TestConvenienceWrappers:
+    def test_atomic_write_text(self, tmp_path):
+        atomic_write_text(tmp_path / "t.txt", "content")
+        assert (tmp_path / "t.txt").read_text() == "content"
+
+    def test_atomic_write_bytes(self, tmp_path):
+        atomic_write_bytes(tmp_path / "t.bin", b"content")
+        assert (tmp_path / "t.bin").read_bytes() == b"content"
+
+    def test_overwrite_is_atomic_and_complete(self, tmp_path):
+        target = tmp_path / "t.txt"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+
+
+class TestStaleTmpSweep:
+    def test_removes_tmp_files_recursively(self, tmp_path):
+        (tmp_path / "keep.json").write_text("{}")
+        (tmp_path / "a.json.xyz.tmp").write_text("debris")
+        nested = tmp_path / "shard_000"
+        nested.mkdir()
+        (nested / "b.npz.abc.tmp").write_text("debris")
+        removed = discard_stale_tmp_files(tmp_path)
+        assert removed == 2
+        assert (tmp_path / "keep.json").exists()
+        assert not (tmp_path / "a.json.xyz.tmp").exists()
+        assert not (nested / "b.npz.abc.tmp").exists()
+
+    def test_empty_directory(self, tmp_path):
+        assert discard_stale_tmp_files(tmp_path) == 0
+
+    def test_missing_directory(self, tmp_path):
+        assert discard_stale_tmp_files(tmp_path / "absent") == 0

@@ -1,0 +1,309 @@
+"""Durable-catalog behavior: persist/open round trips, the recovery
+invariant (recovered answers == from-scratch build over the surviving
+database), generation rolling, and tolerance of crash debris.
+
+Process-kill crash injection lives in ``test_crash_recovery.py``; this file
+covers the same recovery paths with surgically constructed on-disk states.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import GraphCatalog, ProbabilisticGraphDatabase
+from repro.core.catalog import CURRENT_FILENAME
+from repro.core.wal import WriteAheadLog, wal_filename
+from repro.datasets import extract_query
+from repro.exceptions import CatalogError
+from tests.test_catalog_parity import (
+    BOUND_CONFIG,
+    DISTANCE_THRESHOLD,
+    FEATURE_CONFIG,
+    PROBABILITY_THRESHOLD,
+    SEARCH_CONFIG,
+    answer_tuples,
+    apply_random_mutations,
+    assert_result_parity,
+    random_database,
+    rebuild_from_scratch,
+)
+
+SEED = 20120901
+
+
+def durable_catalog(tmp_path, seed=SEED, num_graphs=7, num_shards=1):
+    database = random_database(seed, num_graphs=num_graphs)
+    return (
+        GraphCatalog.build(
+            database.graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=seed,
+            num_shards=num_shards,
+            directory=tmp_path / "catalog",
+        ),
+        database.graphs,
+    )
+
+
+class TestPersistAndOpen:
+    def test_build_with_directory_creates_the_layout(self, tmp_path):
+        catalog, _ = durable_catalog(tmp_path)
+        root = tmp_path / "catalog"
+        assert catalog.is_durable
+        assert catalog.generation == 0
+        assert catalog.wal_records == 0
+        assert (root / CURRENT_FILENAME).exists()
+        assert (root / "gen_00000000" / "catalog.json").exists()
+        assert (root / wal_filename(0)).exists()
+        catalog.close()
+
+    def test_in_memory_catalog_is_not_durable(self):
+        catalog = GraphCatalog.build(
+            random_database(SEED, num_graphs=5).graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=SEED,
+        )
+        assert not catalog.is_durable
+        assert catalog.durable_directory is None
+        assert catalog.generation is None
+        assert catalog.wal_records == 0
+
+    def test_persist_refuses_an_already_durable_catalog(self, tmp_path):
+        catalog, _ = durable_catalog(tmp_path)
+        with pytest.raises(CatalogError, match="already durable"):
+            catalog.persist(tmp_path / "elsewhere")
+        catalog.close()
+
+    def test_persist_refuses_an_occupied_directory(self, tmp_path):
+        catalog, _ = durable_catalog(tmp_path)
+        catalog.close()
+        other = GraphCatalog.build(
+            random_database(SEED + 1, num_graphs=5).graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=SEED,
+        )
+        with pytest.raises(CatalogError, match="already holds"):
+            other.persist(tmp_path / "catalog")
+
+    def test_open_requires_a_durable_directory(self, tmp_path):
+        with pytest.raises(CatalogError, match="missing CURRENT"):
+            GraphCatalog.open(tmp_path)
+
+    def test_open_rejects_corrupt_current(self, tmp_path):
+        (tmp_path / CURRENT_FILENAME).write_text("not json {{{")
+        with pytest.raises(CatalogError, match="corrupt CURRENT"):
+            GraphCatalog.open(tmp_path)
+
+    def test_open_rejects_malformed_current(self, tmp_path):
+        (tmp_path / CURRENT_FILENAME).write_text(json.dumps({"type": "other"}))
+        with pytest.raises(CatalogError, match="malformed CURRENT"):
+            GraphCatalog.open(tmp_path)
+
+    def test_open_rejects_unknown_snapshot_version(self, tmp_path):
+        catalog, _ = durable_catalog(tmp_path)
+        catalog.close()
+        meta_path = tmp_path / "catalog" / "gen_00000000" / "catalog.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(CatalogError, match="unsupported catalog snapshot"):
+            GraphCatalog.open(tmp_path / "catalog")
+
+    def test_to_catalog_with_directory(self, tmp_path):
+        graphs = random_database(SEED, num_graphs=6).graphs
+        engine = ProbabilisticGraphDatabase(graphs).build_index(
+            feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=SEED
+        )
+        catalog = engine.to_catalog(directory=tmp_path / "adopted")
+        assert catalog.is_durable
+        catalog.add_graph(random_database(SEED + 1, num_graphs=1).graphs[0])
+        catalog.close()
+        reopened = GraphCatalog.open(tmp_path / "adopted")
+        assert reopened.num_live == len(graphs) + 1
+        reopened.close()
+
+
+class TestRecoveryInvariant:
+    """The tentpole contract: ``open()`` answers byte-identically to a
+    from-scratch build over the surviving ``(id -> graph)`` database."""
+
+    def test_reopen_after_mutations_matches_rebuild(self, tmp_path):
+        catalog, _ = durable_catalog(tmp_path, num_graphs=7)
+        pool = random_database(SEED + 1000, num_graphs=8).graphs
+        ops = apply_random_mutations(catalog, pool, SEED, num_ops=10)
+        query = extract_query(catalog.live_items()[0][1].skeleton, 3, rng=SEED)
+        catalog.close()
+
+        recovered = GraphCatalog.open(tmp_path / "catalog")
+        assert recovered.is_durable
+        reference = rebuild_from_scratch(recovered)
+        context = f"ops={ops}"
+        assert_result_parity(
+            recovered.query(
+                query,
+                PROBABILITY_THRESHOLD,
+                DISTANCE_THRESHOLD,
+                config=SEARCH_CONFIG,
+                rng=SEED,
+            ),
+            reference.execute(
+                query,
+                PROBABILITY_THRESHOLD,
+                DISTANCE_THRESHOLD,
+                SEARCH_CONFIG,
+                rng=SEED,
+            ),
+            context,
+        )
+        assert_result_parity(
+            recovered.query_top_k(
+                query, 3, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=SEED
+            ),
+            reference.execute_top_k(
+                query, 3, DISTANCE_THRESHOLD, SEARCH_CONFIG, rng=SEED
+            ),
+            context,
+        )
+        recovered.close()
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_sharded_reopen_matches_rebuild(self, tmp_path, num_shards):
+        catalog, _ = durable_catalog(tmp_path, num_graphs=8, num_shards=num_shards)
+        pool = random_database(SEED + 1000, num_graphs=8).graphs
+        ops = apply_random_mutations(catalog, pool, SEED, num_ops=10)
+        placement = {eid: catalog._live[eid] for eid in catalog.live_external_ids()}
+        query = extract_query(catalog.live_items()[0][1].skeleton, 3, rng=SEED)
+        catalog.close()
+
+        recovered = GraphCatalog.open(tmp_path / "catalog")
+        # replay reproduces smallest-shard routing decision for decision
+        recovered_placement = {
+            eid: recovered._live[eid] for eid in recovered.live_external_ids()
+        }
+        assert recovered_placement == placement, f"ops={ops}"
+        reference = rebuild_from_scratch(recovered)
+        assert_result_parity(
+            recovered.query(
+                query,
+                PROBABILITY_THRESHOLD,
+                DISTANCE_THRESHOLD,
+                config=SEARCH_CONFIG,
+                rng=SEED,
+            ),
+            reference.execute(
+                query,
+                PROBABILITY_THRESHOLD,
+                DISTANCE_THRESHOLD,
+                SEARCH_CONFIG,
+                rng=SEED,
+            ),
+            f"ops={ops}",
+        )
+        # sharded top-k merges per-shard partials whose work counters
+        # legitimately differ from the sequential reference; answers must
+        # still be byte-equal (the repo-wide sharding convention)
+        assert answer_tuples(
+            recovered.query_top_k(
+                query, 3, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=SEED
+            )
+        ) == answer_tuples(
+            reference.execute_top_k(
+                query, 3, DISTANCE_THRESHOLD, SEARCH_CONFIG, rng=SEED
+            )
+        ), f"ops={ops}"
+        recovered.close()
+
+    def test_update_survives_as_one_atomic_record(self, tmp_path):
+        catalog, graphs = durable_catalog(tmp_path, num_graphs=6)
+        replacement = random_database(SEED + 1, num_graphs=1).graphs[0]
+        catalog.update_graph(2, replacement)
+        assert catalog.wal_records == 1  # not a remove + an add
+        catalog.close()
+        recovered = GraphCatalog.open(tmp_path / "catalog")
+        assert recovered.num_live == len(graphs)
+        assert sorted(recovered.live_external_ids()) == list(range(len(graphs)))
+        recovered.close()
+
+    def test_external_id_counter_survives_recovery(self, tmp_path):
+        catalog, graphs = durable_catalog(tmp_path, num_graphs=6)
+        added = catalog.add_graph(random_database(SEED + 1, num_graphs=1).graphs[0])
+        catalog.remove_graph(added)  # the highest id is no longer live
+        catalog.close()
+        recovered = GraphCatalog.open(tmp_path / "catalog")
+        fresh = recovered.add_graph(random_database(SEED + 2, num_graphs=1).graphs[0])
+        assert fresh == added + 1  # ids are never silently reused
+        recovered.close()
+
+
+class TestGenerations:
+    def test_compact_rolls_the_generation(self, tmp_path):
+        catalog, _ = durable_catalog(tmp_path)
+        pool = random_database(SEED + 1000, num_graphs=2).graphs
+        catalog.add_graph(pool[0])
+        assert catalog.wal_records == 1
+        catalog.compact()
+        assert catalog.generation == 1
+        assert catalog.wal_records == 0  # fresh log for the new generation
+        root = tmp_path / "catalog"
+        names = sorted(p.name for p in root.iterdir())
+        assert names == [CURRENT_FILENAME, "gen_00000001", wal_filename(1)]
+        catalog.close()
+
+    def test_mutations_keep_working_after_a_roll(self, tmp_path):
+        catalog, graphs = durable_catalog(tmp_path)
+        pool = random_database(SEED + 1000, num_graphs=3).graphs
+        catalog.add_graph(pool[0])
+        catalog.compact()
+        catalog.add_graph(pool[1])
+        catalog.remove_graph(0)
+        catalog.close()
+        recovered = GraphCatalog.open(tmp_path / "catalog")
+        assert recovered.generation == 1
+        assert recovered.wal_records == 2
+        assert recovered.num_live == len(graphs) + 1
+        recovered.close()
+
+    def test_uncommitted_generation_is_ignored_and_swept(self, tmp_path):
+        """A crash after writing snapshot g+1 but before the CURRENT swap
+        leaves generation g fully authoritative."""
+        catalog, _ = durable_catalog(tmp_path)
+        pool = random_database(SEED + 1000, num_graphs=1).graphs
+        catalog.add_graph(pool[0])
+        catalog.close()
+        root = tmp_path / "catalog"
+        # fake the crashed compaction: snapshot + wal exist, CURRENT still 0
+        catalog._write_snapshot(root, 1)
+        WriteAheadLog.create(root / wal_filename(1), 1).close()
+        recovered = GraphCatalog.open(root)
+        assert recovered.generation == 0
+        assert recovered.wal_records == 1  # the add survived in the old log
+        names = sorted(p.name for p in root.iterdir())
+        assert names == [CURRENT_FILENAME, "gen_00000000", wal_filename(0)]
+        recovered.close()
+
+    def test_stale_tmp_files_are_swept_on_open(self, tmp_path):
+        catalog, _ = durable_catalog(tmp_path)
+        catalog.close()
+        root = tmp_path / "catalog"
+        debris = root / "gen_00000000" / "catalog.json.abc123.tmp"
+        debris.write_text("half-written")
+        recovered = GraphCatalog.open(root)
+        assert not debris.exists()
+        recovered.close()
+
+    def test_torn_wal_tail_is_recovered_through(self, tmp_path):
+        catalog, graphs = durable_catalog(tmp_path)
+        pool = random_database(SEED + 1000, num_graphs=1).graphs
+        catalog.add_graph(pool[0])
+        catalog.close()
+        wal_path = tmp_path / "catalog" / wal_filename(0)
+        with open(wal_path, "ab") as handle:
+            handle.write(b'deadbeef {"op":"remove","external_')
+        recovered = GraphCatalog.open(tmp_path / "catalog")
+        assert recovered.num_live == len(graphs) + 1  # the torn remove is gone
+        recovered.close()

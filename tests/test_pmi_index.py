@@ -169,3 +169,52 @@ class TestPersistence:
 
         with pytest.raises(IndexError_):
             ProbabilisticMatrixIndex().save(tmp_path / "pmi")
+
+
+class TestCorruptPayloadDiagnostics:
+    """Torn or damaged PMI files must raise an error that names the file and
+    points at recovery, not a bare decoder traceback."""
+
+    def saved(self, built_index, tmp_path):
+        index, _ = built_index
+        index.save(tmp_path / "pmi")
+        return tmp_path / "pmi", type(index)
+
+    def test_missing_directory(self, built_index, tmp_path):
+        _, cls = self.saved(built_index, tmp_path)
+        with pytest.raises(IndexError_, match="no persisted PMI"):
+            cls.load(tmp_path / "absent")
+
+    def test_corrupt_metadata_names_the_file(self, built_index, tmp_path):
+        directory, cls = self.saved(built_index, tmp_path)
+        (directory / "pmi_meta.json").write_bytes(b'{"type": "probabilistic_mat')
+        with pytest.raises(IndexError_, match="corrupt PMI metadata") as exc:
+            cls.load(directory)
+        assert "pmi_meta.json" in str(exc.value)
+        assert "snapshot" in str(exc.value)
+
+    def test_truncated_arrays_name_the_file(self, built_index, tmp_path):
+        directory, cls = self.saved(built_index, tmp_path)
+        arrays = directory / "pmi_arrays.npz"
+        arrays.write_bytes(arrays.read_bytes()[: arrays.stat().st_size // 2])
+        with pytest.raises(IndexError_, match="corrupt PMI arrays") as exc:
+            cls.load(directory)
+        assert "pmi_arrays.npz" in str(exc.value)
+        assert "snapshot" in str(exc.value)
+
+    def test_garbage_arrays_name_the_file(self, built_index, tmp_path):
+        directory, cls = self.saved(built_index, tmp_path)
+        (directory / "pmi_arrays.npz").write_bytes(b"this is not a zip archive")
+        with pytest.raises(IndexError_, match="corrupt PMI arrays"):
+            cls.load(directory)
+
+    def test_unsupported_version(self, built_index, tmp_path):
+        import json
+
+        directory, cls = self.saved(built_index, tmp_path)
+        meta_path = directory / "pmi_meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = meta["version"] + 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(IndexError_, match="unsupported PMI format version"):
+            cls.load(directory)
