@@ -1,28 +1,60 @@
-"""Sharded throughput: ``query_many`` through a process pool vs one core.
+"""Sharded fan-out: throughput, pool spin-up, and the zero-copy shard plane.
 
-The sharding layer targets the only axis PR 1 left on the table: all three
-pipeline stages — structural filtering, PMI pruning, and the expensive
-Karp–Luby verification — ran on a single core.  This benchmark partitions
-the synthetic-PPI database into K shards, fans the same workload out over a
-process pool, and reports queries/second against the sequential planner,
-checking answer-for-answer parity along the way (the sharded executor must
-be a pure speedup, never a different answer).
+The sharding layer fans the three pipeline stages out over a process pool;
+this benchmark measures what that costs and what it buys:
 
-The speedup assertion (≥ 1.5× at 4 workers) only fires when the hardware
-can express it: on boxes with fewer than 4 usable cores the benchmark still
-runs, verifies parity, and prints the measured ratio for the record.
+* **throughput** — ``query_many`` through K shards x W workers against the
+  sequential planner, with answer-for-answer parity checked along the way
+  (the sharded executor must be a pure speedup, never a different answer);
+* **initializer payload** — what the pool initializer ships to each worker:
+  O(1) :class:`ShardDescriptor` handles on the shared-memory plane vs the
+  legacy pickled-shards payload that grows with the database;
+* **pool spin-up** — wall-clock from no pool to every worker answering a
+  probe, for both payload styles;
+* **per-worker memory** — each worker's shard-attributable private bytes at
+  spin-up (descriptors only; the dense arrays stay in the parent's shared
+  segments) and the lazily materialized graph bytes after the workload.
+
+The speedup assertion (>= 1.5x at 4 workers) only fires on a full run when
+the hardware can express it: with fewer than 4 usable cores (or under
+xdist) the benchmark still runs, verifies parity, and records the ratio.
+
+Run as a script::
+
+    python benchmarks/bench_sharded_throughput.py            # full run
+    python benchmarks/bench_sharded_throughput.py --smoke    # CI mode
+
+Each run appends one trajectory point to ``BENCH_sharding.json`` (``--out``
+to relocate), so the perf history accumulates across commits.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
+import pickle
+import platform
+import sys
+import time
+from pathlib import Path
 
-from repro.core import ProbabilisticGraphDatabase, SearchConfig, VerificationConfig
-from repro.datasets import generate_query_workload
+# allow `python benchmarks/bench_sharded_throughput.py` from the repo root
+# (CI) as well as pytest collection, where the root is already importable
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.core import (
+    ProbabilisticGraphDatabase,
+    SearchConfig,
+    ShardedPlanner,
+    VerificationConfig,
+)
+from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_query_workload
 from repro.utils.timer import Timer
 
 from benchmarks.conftest import (
     BENCH_BOUND_CONFIG,
+    BENCH_DATASET_CONFIG,
     BENCH_FEATURE_CONFIG,
     BENCH_SEED,
     print_table,
@@ -31,14 +63,36 @@ from benchmarks.conftest import (
 PROBABILITY_THRESHOLD = 0.4
 DISTANCE_THRESHOLD = 1
 QUERY_SIZE = 4
-NUM_QUERIES = 8
 NUM_SHARDS = 4
-NUM_WORKERS = 4
 SPEEDUP_FLOOR = 1.5
+# at spin-up a worker's shard-attributable private bytes are the pickled
+# descriptors it received — they must stay a sliver of copying a shard
+SPINUP_BYTES_CEILING_FRACTION = 0.2
 
 SHARDED_SEARCH_CONFIG = SearchConfig(
     verification=VerificationConfig(method="sampling", num_samples=400)
 )
+
+FULL = {
+    "dataset": BENCH_DATASET_CONFIG,
+    "num_queries": 8,
+    "num_workers": 4,
+}
+
+SMOKE = {
+    "dataset": PPIDatasetConfig(
+        num_graphs=12,
+        num_families=2,
+        vertices_per_graph=12,
+        edges_per_graph=16,
+        motif_vertices=4,
+        motif_edges=4,
+        mean_edge_probability=0.55,
+        probability_spread=0.2,
+    ),
+    "num_queries": 4,
+    "num_workers": 2,
+}
 
 
 def usable_cores() -> int:
@@ -48,20 +102,90 @@ def usable_cores() -> int:
         return os.cpu_count() or 1
 
 
-def run_sharded_comparison(bench_database, queries) -> dict:
-    sequential_engine = ProbabilisticGraphDatabase(bench_database.graphs)
+def _worker_probe(delay: float) -> dict:
+    """Runs inside a pool worker: memory and lazy-materialization counters.
+
+    ``delay`` keeps each probe busy long enough that one lands on every
+    worker instead of a single fast worker draining the whole batch.
+    """
+    time.sleep(delay)
+    from repro.core import sharding
+
+    materialized_bytes = 0
+    materialized_graphs = 0
+    for shard in sharding._WORKER_SHARDS.values():
+        graphs = shard.graphs
+        if hasattr(graphs, "materialized_bytes"):
+            materialized_bytes += graphs.materialized_bytes()
+            materialized_graphs += graphs.materialized_count()
+    private_dirty_kb = None
+    try:
+        with open("/proc/self/smaps_rollup") as rollup:
+            for line in rollup:
+                if line.startswith("Private_Dirty:"):
+                    private_dirty_kb = int(line.split()[1])
+    except OSError:
+        pass
+    return {
+        "pid": os.getpid(),
+        "materialized_graph_bytes": materialized_bytes,
+        "materialized_graphs": materialized_graphs,
+        "private_dirty_kb": private_dirty_kb,
+    }
+
+
+def probe_workers(planner: ShardedPlanner, workers: int, delay: float = 0.25) -> list[dict]:
+    """One probe result per live worker (deduplicated by pid)."""
+    pool = planner._ensure_executor(workers)
+    futures = [pool.submit(_worker_probe, delay) for _ in range(workers)]
+    by_pid = {probe["pid"]: probe for probe in (f.result() for f in futures)}
+    return list(by_pid.values())
+
+
+def measure_spinup(database, workers: int, use_shared_memory: bool) -> dict:
+    """Pool spin-up cost and the per-worker payload for one initializer style."""
+    planner = ShardedPlanner.build(
+        database.graphs,
+        num_shards=NUM_SHARDS,
+        feature_config=BENCH_FEATURE_CONFIG,
+        bound_config=BENCH_BOUND_CONFIG,
+        rng=BENCH_SEED,
+        max_workers=workers,
+    )
+    planner.use_shared_memory = use_shared_memory
+    try:
+        payload_bytes = len(pickle.dumps(planner.initializer_payload()))
+        spinup_timer = Timer()
+        with spinup_timer:
+            probes = probe_workers(planner, workers)
+        shard_bytes = (
+            planner.shard_plane.shard_bytes() if use_shared_memory else None
+        )
+    finally:
+        planner.close()
+    return {
+        "payload_bytes": payload_bytes,
+        "spinup_seconds": spinup_timer.elapsed,
+        "workers_probed": len(probes),
+        "shard_bytes": shard_bytes,
+        "probes": probes,
+    }
+
+
+def run_sharded_comparison(database, queries, workers: int) -> dict:
+    sequential_engine = ProbabilisticGraphDatabase(database.graphs)
     sequential_engine.build_index(
         feature_config=BENCH_FEATURE_CONFIG,
         bound_config=BENCH_BOUND_CONFIG,
         rng=BENCH_SEED,
     )
-    sharded_engine = ProbabilisticGraphDatabase(bench_database.graphs)
+    sharded_engine = ProbabilisticGraphDatabase(database.graphs)
     sharded_engine.build_index(
         feature_config=BENCH_FEATURE_CONFIG,
         bound_config=BENCH_BOUND_CONFIG,
         rng=BENCH_SEED,
         num_shards=NUM_SHARDS,
-        max_workers=NUM_WORKERS,
+        max_workers=workers,
     )
 
     sequential_timer = Timer()
@@ -74,7 +198,7 @@ def run_sharded_comparison(bench_database, queries) -> dict:
             rng=BENCH_SEED,
         )
 
-    # warm the pool (worker spawn + shard shipping) outside the timed region,
+    # warm the pool (worker spawn + segment attach) outside the timed region,
     # the way a serving deployment would run with long-lived workers
     sharded_engine.query_many(
         queries[:1],
@@ -92,7 +216,16 @@ def run_sharded_comparison(bench_database, queries) -> dict:
             config=SHARDED_SEARCH_CONFIG,
             rng=BENCH_SEED,
         )
+    # after the workload: how much private graph memory did lazy
+    # materialization actually cost each worker?
+    post_query_probes = probe_workers(sharded_engine.planner, workers)
     sharded_engine.close()
+
+    # parity first: a sharded run that answers differently is wrong, not fast
+    for sequential, sharded in zip(sequential_results, sharded_results):
+        assert [
+            (a.graph_id, a.probability, a.decided_by) for a in sequential.answers
+        ] == [(a.graph_id, a.probability, a.decided_by) for a in sharded.answers]
 
     return {
         "num_queries": len(queries),
@@ -101,27 +234,92 @@ def run_sharded_comparison(bench_database, queries) -> dict:
         "sequential_qps": len(queries) / max(sequential_timer.elapsed, 1e-9),
         "sharded_qps": len(queries) / max(sharded_timer.elapsed, 1e-9),
         "speedup": sequential_timer.elapsed / max(sharded_timer.elapsed, 1e-9),
-        "sequential_results": sequential_results,
-        "sharded_results": sharded_results,
+        "post_query_probes": post_query_probes,
     }
 
 
-def test_sharded_throughput(benchmark, bench_database):
+def run_benchmark(profile: dict) -> dict:
+    database = generate_ppi_database(profile["dataset"], rng=BENCH_SEED)
     workload = generate_query_workload(
-        bench_database.graphs,
+        database.graphs,
         query_size=QUERY_SIZE,
-        num_queries=NUM_QUERIES,
-        organisms=bench_database.organisms,
+        num_queries=profile["num_queries"],
+        organisms=database.organisms,
         rng=BENCH_SEED,
     )
     queries = [record.query for record in workload]
-    report = benchmark.pedantic(
-        run_sharded_comparison, args=(bench_database, queries), rounds=1, iterations=1
+    workers = profile["num_workers"]
+
+    shm_spinup = measure_spinup(database, workers, use_shared_memory=True)
+    legacy_spinup = measure_spinup(database, workers, use_shared_memory=False)
+    throughput = run_sharded_comparison(database, queries, workers)
+
+    one_shard_bytes = len(pickle.dumps(database.graphs)) // NUM_SHARDS
+    return {
+        "num_graphs": len(database.graphs),
+        "num_shards": NUM_SHARDS,
+        "num_workers": workers,
+        "usable_cores": usable_cores(),
+        **{k: v for k, v in throughput.items() if k != "post_query_probes"},
+        "initializer_payload_bytes": shm_spinup["payload_bytes"],
+        "legacy_payload_bytes": legacy_spinup["payload_bytes"],
+        "payload_ratio": legacy_spinup["payload_bytes"]
+        / max(shm_spinup["payload_bytes"], 1),
+        "shard_plane_bytes": shm_spinup["shard_bytes"],
+        "shm_spinup_seconds": shm_spinup["spinup_seconds"],
+        "legacy_spinup_seconds": legacy_spinup["spinup_seconds"],
+        "workers_probed": shm_spinup["workers_probed"],
+        "spinup_worker_private_dirty_kb": [
+            probe["private_dirty_kb"] for probe in shm_spinup["probes"]
+        ],
+        "post_query_materialized_graph_bytes": max(
+            (
+                probe["materialized_graph_bytes"]
+                for probe in throughput["post_query_probes"]
+            ),
+            default=0,
+        ),
+        "post_query_worker_private_dirty_kb": [
+            probe["private_dirty_kb"] for probe in throughput["post_query_probes"]
+        ],
+        "one_shard_copy_bytes": one_shard_bytes,
+    }
+
+
+def append_trajectory_point(path: Path, point: dict) -> None:
+    """Append one run to the JSON trajectory (a list of run records)."""
+    history = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(point)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small dataset, 2 workers, no speedup floor (CI mode)",
     )
-    cores = usable_cores()
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_sharding.json"),
+        help="trajectory file to append this run's point to",
+    )
+    args = parser.parse_args()
+    profile = SMOKE if args.smoke else FULL
+
+    report = run_benchmark(profile)
     print_table(
         f"Sharded throughput: sequential vs {NUM_SHARDS} shards x "
-        f"{NUM_WORKERS} workers ({cores} usable cores)",
+        f"{report['num_workers']} workers ({report['usable_cores']} usable cores)",
         ["executor", "queries", "seconds", "queries/s"],
         [
             [
@@ -131,7 +329,7 @@ def test_sharded_throughput(benchmark, bench_database):
                 f"{report['sequential_qps']:.2f}",
             ],
             [
-                f"sharded (K={NUM_SHARDS}, W={NUM_WORKERS})",
+                f"sharded (K={NUM_SHARDS}, W={report['num_workers']})",
                 report["num_queries"],
                 f"{report['sharded_seconds']:.3f}",
                 f"{report['sharded_qps']:.2f}",
@@ -139,21 +337,62 @@ def test_sharded_throughput(benchmark, bench_database):
         ],
     )
     print(f"speedup: {report['speedup']:.2f}x")
+    print_table(
+        "Pool spin-up: shared-memory descriptors vs legacy pickled shards",
+        ["initializer", "payload bytes", "spin-up seconds"],
+        [
+            [
+                "shm descriptors",
+                report["initializer_payload_bytes"],
+                f"{report['shm_spinup_seconds']:.3f}",
+            ],
+            [
+                "legacy shards",
+                report["legacy_payload_bytes"],
+                f"{report['legacy_spinup_seconds']:.3f}",
+            ],
+        ],
+    )
+    print(
+        f"payload ratio: {report['payload_ratio']:.1f}x smaller; shard plane "
+        f"{report['shard_plane_bytes']} B shared, worst worker materialized "
+        f"{report['post_query_materialized_graph_bytes']} B of graphs lazily"
+    )
 
-    # parity first: a sharded run that answers differently is wrong, not fast
-    for sequential, sharded in zip(
-        report["sequential_results"], report["sharded_results"]
-    ):
-        assert [
-            (a.graph_id, a.probability, a.decided_by) for a in sequential.answers
-        ] == [(a.graph_id, a.probability, a.decided_by) for a in sharded.answers]
+    point = {
+        "bench": "sharding",
+        "mode": "smoke" if args.smoke else "full",
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        **report,
+    }
+    append_trajectory_point(args.out, point)
+    print(f"trajectory point appended to {args.out}")
 
-    # benchmarks are never collected by a bare `pytest` run (bench_*.py), but
-    # guard anyway: under xdist the pool shares its cores with other workers
-    # and the measured ratio says nothing about the hardware
+    # the zero-copy contract holds at any scale, so it is asserted in smoke
+    # runs too: descriptors must be far smaller than shipping the shards,
+    # and an added worker must cost descriptors — not a shard copy
+    assert report["initializer_payload_bytes"] < report["legacy_payload_bytes"] / 10, (
+        f"descriptor payload {report['initializer_payload_bytes']} B is not "
+        f"O(1)-small next to the legacy {report['legacy_payload_bytes']} B"
+    )
+    spinup_ceiling = SPINUP_BYTES_CEILING_FRACTION * report["one_shard_copy_bytes"]
+    assert report["initializer_payload_bytes"] <= spinup_ceiling, (
+        f"per-worker spin-up payload {report['initializer_payload_bytes']} B "
+        f"exceeds {SPINUP_BYTES_CEILING_FRACTION:.0%} of one shard copy "
+        f"({report['one_shard_copy_bytes']} B)"
+    )
     under_xdist = "PYTEST_XDIST_WORKER" in os.environ
-    if cores >= NUM_WORKERS and not under_xdist:
+    if (
+        not args.smoke
+        and report["usable_cores"] >= report["num_workers"]
+        and not under_xdist
+    ):
         assert report["speedup"] >= SPEEDUP_FLOOR, (
-            f"expected >= {SPEEDUP_FLOOR}x at {NUM_WORKERS} workers on "
-            f"{cores} cores, measured {report['speedup']:.2f}x"
+            f"expected >= {SPEEDUP_FLOOR}x at {report['num_workers']} workers on "
+            f"{report['usable_cores']} cores, measured {report['speedup']:.2f}x"
         )
+
+
+if __name__ == "__main__":
+    main()

@@ -43,10 +43,14 @@ from repro.core.planner import (
 from repro.core.search_engine import ProbabilisticGraphDatabase, SearchConfig
 from repro.core.sharding import (
     DatabaseShard,
+    ShardDescriptor,
+    ShardPlane,
     ShardSpec,
     ShardedPlanner,
+    materialize_shard,
     merge_query_results,
     partition_ranges,
+    publish_shard,
     route_to_smallest,
 )
 from repro.core.catalog import (
@@ -94,8 +98,12 @@ __all__ = [
     "ProbabilisticGraphDatabase",
     "SearchConfig",
     "DatabaseShard",
+    "ShardDescriptor",
+    "ShardPlane",
     "ShardSpec",
     "ShardedPlanner",
+    "materialize_shard",
+    "publish_shard",
     "merge_query_results",
     "partition_ranges",
     "route_to_smallest",

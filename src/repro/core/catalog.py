@@ -47,6 +47,19 @@ static builds use.  Queries fan out through the ordinary
 cached planner (and its worker pool), so read-heavy phases amortize the
 rebuild while writes stay cheap.
 
+That invalidation is also the shared-memory **hot-swap protocol**: a pooled
+planner publishes each shard once into a shared-memory
+:class:`~repro.core.sharding.ShardPlane` generation that workers attach
+read-only.  Any mutation (and :meth:`compact`) closes the cached planner —
+the pool shutdown inside :meth:`ShardedPlanner.close` joins every worker
+*before* the segments unlink, so no attachment is ever torn down under a
+running query — and the next query publishes a fresh generation from the
+new store state and spins up workers that re-attach to it.  Old and new
+generations never coexist for a reader, the swap is one atomic planner
+replacement, and answers stay byte-identical throughout because workers map
+the exact arrays the catalog computed (``active_shm_segments()`` exposes
+the live generation for leak checks).
+
 The feature set is **pinned** at catalog construction: delta rows are
 indexed against the base features, and ``compact()`` deliberately does not
 re-mine (that would change pruning behaviour and break the rebuild-parity
@@ -806,6 +819,14 @@ class GraphCatalog:
         return sum(
             int(np.count_nonzero(store.tombstone)) for store in self._stores
         )
+
+    def active_shm_segments(self) -> list[str]:
+        """Shared-memory segment names of the cached planner's published
+        generation — empty before the first pooled query and right after any
+        mutation or :meth:`compact`, because each generation lives exactly
+        as long as the planner that published it (the hot-swap protocol)."""
+        plane = getattr(self._planner_cache, "shard_plane", None)
+        return [] if plane is None else plane.segment_names()
 
     def shard_live_counts(self) -> list[int]:
         """Per-shard live graph counts (the routing rule's input)."""

@@ -50,6 +50,7 @@ from repro.pmi.index import ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
 from repro.structural.similarity_filter import StructuralFilter
 from repro.utils.rng import RandomLike, rng_root
+from repro.utils.shm import SkeletonSequence
 
 __all__ = [
     "QueryPlan",
@@ -180,7 +181,11 @@ class QueryPlanner:
                     f"{len(graphs)} graphs"
                 )
         self.active_mask = active_mask
-        self.skeletons = [graph.skeleton for graph in graphs]
+        # a lazy view, not a list: planners over shared-memory shards hold a
+        # LazyGraphList, and enumerating skeletons here would deserialize
+        # every graph up front — the structural filter only touches the
+        # skeletons of deficit-test survivors
+        self.skeletons = SkeletonSequence(graphs)
         self.structural_filter = StructuralFilter(structural_index, self.skeletons)
         self.pruner = ProbabilisticPruner(pmi.features)
         self._default_verifier: Verifier | None = None

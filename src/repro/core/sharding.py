@@ -31,6 +31,27 @@ worker fills its shard's PMI cells and structural counts.  With a
 ``cache_dir`` each shard slice is persisted in the npz+JSON format of
 :meth:`ProbabilisticMatrixIndex.save`, so warm workers load instead of
 rebuild.
+
+**The zero-copy shard plane.**  Shipping every :class:`DatabaseShard` into
+the pool initializer costs O(shard-bytes) per worker — resident memory
+scales with worker count and every pool (re)build pays a full copy of all
+PMI and structural matrices.  By default the planner instead *publishes*
+each shard exactly once into ``multiprocessing.shared_memory``
+(:func:`publish_shard` packs the dense arrays plus per-graph pickle blobs
+into one :class:`~repro.utils.shm.ShardArena` segment), and workers receive
+only O(1) :class:`ShardDescriptor`\\ s — segment name, dtypes, shapes,
+offsets — attaching read-only on first use (:func:`materialize_shard`).
+Graphs deserialize lazily per candidate, so a worker's private memory holds
+only the graphs its queries actually verified.  Lifecycle: the
+:class:`ShardPlane` (one generation of published segments) is created
+lazily with the first pool, survives pool resizes (a width change recycles
+workers but re-ships only descriptors), and is retired by
+:meth:`ShardedPlanner.close` — the pool shutdown inside it joins every
+worker first, so no attachment outlives its segments.  A catalog mutation
+or :meth:`~repro.core.catalog.GraphCatalog.compact` closes the cached
+planner and the next query publishes a fresh generation: the hot-swap is
+one atomic planner replacement, and answers stay byte-identical throughout
+because the arrays workers map are bit-for-bit the parent's.
 """
 
 from __future__ import annotations
@@ -38,10 +59,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 import zipfile
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -58,6 +80,13 @@ from repro.pmi.index import ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
 from repro.utils.atomic_io import atomic_write_text, atomic_writer
 from repro.utils.rng import RandomLike, rng_root
+from repro.utils.shm import (
+    ArenaDescriptor,
+    AttachedArena,
+    LazyGraphList,
+    ShardArena,
+    finalize_unlink,
+)
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +150,9 @@ class DatabaseShard:
     structural_index: StructuralFeatureIndex
     graph_ids: np.ndarray | None = None
     active_mask: np.ndarray | None = None
+    # set only on worker-side shards materialized from a shared-memory
+    # descriptor: keeps the attached segment mapped for the shard's lifetime
+    arena: AttachedArena | None = field(default=None, repr=False, compare=False)
 
     def make_planner(self) -> QueryPlanner:
         """A planner whose answers and RNG salts use *global* graph ids."""
@@ -321,20 +353,245 @@ def build_shard(
 
 
 # ----------------------------------------------------------------------
+# the shared-memory shard plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """The O(1) handle a worker needs to attach one published shard.
+
+    Pickling this costs bytes proportional to the number of arena *fields*
+    (a dozen name/dtype/shape/offset tuples), never to the shard's data —
+    the regression tests assert exactly that.
+    """
+
+    shard_id: int
+    arena: ArenaDescriptor
+
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def publish_shard(shard: DatabaseShard) -> tuple[ShardArena, ShardDescriptor]:
+    """Pack one shard into a shared-memory arena; return it with its handle.
+
+    Dense arrays — the five PMI matrices (base and delta separately for a
+    catalog shard's segmented views), the structural count matrix, and the
+    catalog's external-id / tombstone columns — are copied bit-for-bit into
+    the segment, so a worker's attached view reads the exact cells the
+    parent computed and answers cannot drift.  Graphs go in as back-to-back
+    per-graph pickles with an offset table (lazy deserialization on the
+    worker); everything non-array (spec, features, configs, sparse
+    chosen-set dicts) rides in one pickled ``meta`` blob.
+    """
+    from repro.core.catalog import SegmentedPmiView, SegmentedStructuralView
+
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {"spec": shard.spec}
+    pmi = shard.pmi
+    structural = shard.structural_index
+    if isinstance(pmi, SegmentedPmiView):
+        if not isinstance(structural, SegmentedStructuralView):
+            raise IndexError_(
+                "a segmented PMI view requires a segmented structural view"
+            )
+        meta["segmented"] = True
+        for prefix, segment_pmi in (("base", pmi.base), ("delta", pmi.delta)):
+            for key, array in segment_pmi.arena_arrays().items():
+                arrays[f"{prefix}_pmi_{key}"] = array
+            meta[f"{prefix}_pmi"] = segment_pmi.arena_meta()
+        arrays["base_counts"] = np.asarray(structural.base.counts_matrix())
+        arrays["delta_counts"] = np.asarray(structural.delta.counts_matrix())
+        meta["features"] = pmi.base.features
+        meta["feature_config"] = pmi.base.feature_config
+        meta["bound_config"] = pmi.base.bound_config
+        meta["embedding_limit"] = structural.base.embedding_limit
+    else:
+        meta["segmented"] = False
+        for key, array in pmi.arena_arrays().items():
+            arrays[f"pmi_{key}"] = array
+        meta["pmi"] = pmi.arena_meta()
+        arrays["counts"] = np.asarray(structural.counts_matrix())
+        meta["features"] = pmi.features
+        meta["feature_config"] = pmi.feature_config
+        meta["bound_config"] = pmi.bound_config
+        meta["embedding_limit"] = structural.embedding_limit
+    if shard.graph_ids is not None:
+        arrays["graph_ids"] = np.asarray(shard.graph_ids, dtype=np.int64)
+    if shard.active_mask is not None:
+        arrays["active_mask"] = np.asarray(shard.active_mask, dtype=bool)
+    payloads = [
+        pickle.dumps(graph, protocol=_PICKLE_PROTOCOL) for graph in shard.graphs
+    ]
+    offsets = np.zeros(len(payloads) + 1, dtype=np.int64)
+    if payloads:
+        np.cumsum(
+            np.asarray([len(p) for p in payloads], dtype=np.int64), out=offsets[1:]
+        )
+    arrays["graph_offsets"] = offsets
+    blobs = {
+        "graphs": b"".join(payloads),
+        "meta": pickle.dumps(meta, protocol=_PICKLE_PROTOCOL),
+    }
+    arena = ShardArena.pack(arrays, blobs)
+    return arena, ShardDescriptor(shard_id=shard.spec.shard_id, arena=arena.descriptor)
+
+
+def materialize_shard(
+    descriptor: ShardDescriptor, arena: AttachedArena | None = None
+) -> DatabaseShard:
+    """Rebuild a queryable :class:`DatabaseShard` from a published arena.
+
+    All matrices come back as read-only zero-copy views into the shared
+    mapping (no bytes move), and the graph list is a
+    :class:`~repro.utils.shm.LazyGraphList` that deserializes per graph on
+    first access.  The returned shard keeps the arena attached for its own
+    lifetime via its ``arena`` field.
+    """
+    from repro.core.catalog import SegmentedPmiView, SegmentedStructuralView
+
+    if arena is None:
+        arena = AttachedArena(descriptor.arena)
+    meta = pickle.loads(arena.blob("meta"))
+    graphs = LazyGraphList(
+        arena.blob("graphs"), arena.array("graph_offsets"), owner=arena
+    )
+    features = meta["features"]
+    feature_config = meta["feature_config"]
+    bound_config = meta["bound_config"]
+    embedding_limit = meta["embedding_limit"]
+
+    def pmi_from(prefix: str, segment_meta: dict) -> ProbabilisticMatrixIndex:
+        return ProbabilisticMatrixIndex.from_arrays(
+            {
+                key: arena.array(f"{prefix}{key}")
+                for key in ProbabilisticMatrixIndex.ARENA_ARRAY_KEYS
+            },
+            features,
+            feature_config,
+            bound_config,
+            segment_meta,
+        )
+
+    if meta["segmented"]:
+        pmi = SegmentedPmiView(
+            pmi_from("base_pmi_", meta["base_pmi"]),
+            pmi_from("delta_pmi_", meta["delta_pmi"]),
+        )
+        structural = SegmentedStructuralView(
+            StructuralFeatureIndex.from_counts(
+                features,
+                arena.array("base_counts"),
+                embedding_limit=embedding_limit,
+                copy=False,
+            ),
+            StructuralFeatureIndex.from_counts(
+                features,
+                arena.array("delta_counts"),
+                embedding_limit=embedding_limit,
+                copy=False,
+            ),
+        )
+    else:
+        pmi = pmi_from("pmi_", meta["pmi"])
+        structural = StructuralFeatureIndex.from_counts(
+            features,
+            arena.array("counts"),
+            embedding_limit=embedding_limit,
+            copy=False,
+        )
+    graph_ids = (
+        arena.array("graph_ids") if "graph_ids" in descriptor.arena else None
+    )
+    active_mask = (
+        arena.array("active_mask") if "active_mask" in descriptor.arena else None
+    )
+    return DatabaseShard(
+        spec=meta["spec"],
+        graphs=graphs,
+        pmi=pmi,
+        structural_index=structural,
+        graph_ids=graph_ids,
+        active_mask=active_mask,
+        arena=arena,
+    )
+
+
+class ShardPlane:
+    """One published generation of a planner's shards.
+
+    Owns one shared-memory segment per shard.  Cleanup is belt and braces:
+    :meth:`close` unlinks explicitly, a ``weakref.finalize`` fires on GC or
+    interpreter exit if nobody called it, the :mod:`repro.utils.shm` atexit
+    sweep catches anything else, and every path is idempotent and pid-
+    guarded (a forked worker can never unlink its parent's segments).
+    """
+
+    def __init__(self, shards: list[DatabaseShard]) -> None:
+        self._arenas: list[ShardArena] = []
+        self.descriptors: list[ShardDescriptor] = []
+        for shard in shards:
+            arena, descriptor = publish_shard(shard)
+            self._arenas.append(arena)
+            self.descriptors.append(descriptor)
+        self._finalizer = finalize_unlink(self, [a.name for a in self._arenas])
+
+    def payload(self) -> tuple[ShardDescriptor, ...]:
+        """What the pool initializer ships: descriptors only, O(1) bytes."""
+        return tuple(self.descriptors)
+
+    def payload_bytes(self) -> int:
+        """Pickled size of the initializer payload (the bench's metric)."""
+        return len(pickle.dumps(self.payload(), protocol=_PICKLE_PROTOCOL))
+
+    def segment_names(self) -> list[str]:
+        return [arena.name for arena in self._arenas]
+
+    def shard_bytes(self) -> int:
+        """Total bytes published across this generation's segments."""
+        return sum(arena.descriptor.nbytes for arena in self._arenas)
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; also disarms the finalizer)."""
+        self._finalizer()
+
+
+# ----------------------------------------------------------------------
 # query execution (runs in worker processes)
 # ----------------------------------------------------------------------
-# One pool worker caches the shards it has seen (sent once via the pool
-# initializer) and lazily builds a QueryPlanner per shard on first use, so
-# steady-state tasks ship only (shard_id, queries, thresholds, roots).
+# One pool worker caches the shards it has seen and lazily builds a
+# QueryPlanner per shard on first use, so steady-state tasks ship only
+# (shard_id, queries, thresholds, roots).  The shared-memory initializer
+# records descriptors and defers the attach itself to the first task that
+# needs the shard — a worker that never serves a shard never maps it.
 _WORKER_SHARDS: dict[int, DatabaseShard] = {}
 _WORKER_PLANNERS: dict[int, QueryPlanner] = {}
+_WORKER_DESCRIPTORS: dict[int, ShardDescriptor] = {}
 
 
 def _init_query_worker(shards: list[DatabaseShard]) -> None:
+    """Legacy initializer: ships whole shards (O(shard-bytes) per worker).
+
+    Kept for ``ShardedPlanner(use_shared_memory=False)`` — the benchmark's
+    baseline and an escape hatch for platforms without POSIX shared memory.
+    """
     _WORKER_SHARDS.clear()
     _WORKER_PLANNERS.clear()
+    _WORKER_DESCRIPTORS.clear()
     for shard in shards:
         _WORKER_SHARDS[shard.spec.shard_id] = shard
+
+
+def _init_shm_query_worker(descriptors: tuple[ShardDescriptor, ...]) -> None:
+    """Shared-memory initializer: ships O(1) descriptors per shard."""
+    _WORKER_SHARDS.clear()
+    _WORKER_PLANNERS.clear()
+    _WORKER_DESCRIPTORS.clear()
+    for descriptor in descriptors:
+        _WORKER_DESCRIPTORS[descriptor.shard_id] = descriptor
 
 
 def _run_shard_workload(
@@ -342,7 +599,13 @@ def _run_shard_workload(
 ) -> list[QueryResult] | list[TopKPartial]:
     planner = _WORKER_PLANNERS.get(shard_id)
     if planner is None:
-        planner = _WORKER_SHARDS[shard_id].make_planner()
+        shard = _WORKER_SHARDS.get(shard_id)
+        if shard is None:
+            # first touch of this shard in this worker: attach the shared
+            # segment read-only (zero-copy; graphs stay lazy)
+            shard = materialize_shard(_WORKER_DESCRIPTORS[shard_id])
+            _WORKER_SHARDS[shard_id] = shard
+        planner = shard.make_planner()
         _WORKER_PLANNERS[shard_id] = planner
     if partial:
         return [
@@ -363,7 +626,11 @@ class ShardedPlanner:
     the sequential planner's, independent of shard count and worker count.
     ``max_workers`` picks the process-pool width for query fan-out
     (``None`` → ``min(num_shards, cpu_count)``); at width <= 1 shards run
-    in-process, which is also the zero-dependency fallback path.
+    in-process, which is also the zero-dependency fallback path.  With
+    ``use_shared_memory=True`` (the default) shards are published once into
+    a shared-memory :class:`ShardPlane` and workers attach read-only via
+    O(1) descriptors; ``use_shared_memory=False`` falls back to shipping
+    whole shards through the pool initializer.
 
     Shards come in two flavours (see :class:`DatabaseShard`): static
     contiguous slices, validated to tile the global id space, and mutable
@@ -373,7 +640,12 @@ class ShardedPlanner:
     sequential run over the same live graphs under the same ``rng``.
     """
 
-    def __init__(self, shards: list[DatabaseShard], max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        shards: list[DatabaseShard],
+        max_workers: int | None = None,
+        use_shared_memory: bool = True,
+    ) -> None:
         if not shards:
             raise ValueError("a sharded planner needs at least one shard")
         catalog_mode = any(shard.graph_ids is not None for shard in shards)
@@ -408,9 +680,11 @@ class ShardedPlanner:
             seen_ids.add(shard.spec.shard_id)
         self.shards = ordered
         self.max_workers = max_workers
+        self.use_shared_memory = use_shared_memory
         self._executor: ProcessPoolExecutor | None = None
         self._executor_width = 0
         self._local_planners: dict[int, QueryPlanner] = {}
+        self._plane: ShardPlane | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -614,11 +888,19 @@ class ShardedPlanner:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; a new query re-creates it)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
-            self._executor_width = 0
+        """Shut the pool down and retire the published segments (idempotent).
+
+        Order matters: the pool shutdown joins every worker first — that is
+        the re-attach barrier of the hot-swap protocol, after which no
+        process can hold a mapping — and only then does the plane unlink.
+        A new query re-creates both, publishing a fresh generation; this is
+        exactly how a catalog mutation or ``compact()`` swaps generations
+        (``GraphCatalog._invalidate`` closes the cached planner).
+        """
+        self._shutdown_pool()
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
 
     def __enter__(self) -> "ShardedPlanner":
         return self
@@ -682,14 +964,54 @@ class ShardedPlanner:
             self._local_planners[shard.spec.shard_id] = planner
         return planner
 
+    @property
+    def shard_plane(self) -> ShardPlane | None:
+        """The currently published generation, or None before the first pool
+        (and after :meth:`close`)."""
+        return self._plane
+
+    def initializer_payload(self):
+        """Exactly what the pool initializer ships to every worker.
+
+        Descriptors (O(1) in shard bytes) on the shared-memory path — this
+        publishes the plane if needed — or the shard list itself on the
+        legacy path.  The resize-regression test and the benchmark pickle
+        this to measure the initializer cost.
+        """
+        if self.use_shared_memory:
+            return self._ensure_plane().payload()
+        return self.shards
+
+    def _ensure_plane(self) -> ShardPlane:
+        if self._plane is None:
+            self._plane = ShardPlane(self.shards)
+        return self._plane
+
+    def _shutdown_pool(self) -> None:
+        """Join and drop the executor, leaving the plane published."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_width = 0
+
     def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
         if self._executor is not None and self._executor_width != workers:
-            self.close()
+            # resize: recycle only the pool — the published plane survives,
+            # so the new workers re-attach via O(1) descriptors instead of
+            # paying a fresh copy of every shard
+            self._shutdown_pool()
         if self._executor is None:
+            if self.use_shared_memory:
+                initializer, initargs = (
+                    _init_shm_query_worker,
+                    (self._ensure_plane().payload(),),
+                )
+            else:
+                initializer, initargs = _init_query_worker, (self.shards,)
             self._executor = ProcessPoolExecutor(
                 max_workers=workers,
-                initializer=_init_query_worker,
-                initargs=(self.shards,),
+                initializer=initializer,
+                initargs=initargs,
             )
             self._executor_width = workers
         return self._executor

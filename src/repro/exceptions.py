@@ -68,6 +68,12 @@ class WalError(CatalogError):
     expected crash damage, silently truncated on open — never this error.)"""
 
 
+class ShmError(ReproError):
+    """Raised for shared-memory shard-plane failures: attaching a segment
+    that no longer exists, reading an arena field the descriptor does not
+    record, or packing inconsistent array metadata."""
+
+
 class VerificationError(ReproError):
     """Raised when verification cannot be carried out (for example exact
     verification requested on a graph that is too large to enumerate)."""

@@ -50,9 +50,17 @@ class StructuralFeatureIndex:
         features: list[Feature],
         counts: np.ndarray,
         embedding_limit: int = 64,
+        copy: bool = True,
     ) -> "StructuralFeatureIndex":
         """Reconstruct an index from a persisted ``counts[graph, feature]``
-        matrix (the shard-cache warm path), skipping embedding enumeration."""
+        matrix (the shard-cache warm path), skipping embedding enumeration.
+
+        ``copy=False`` adopts the matrix as-is — the shared-memory attach
+        path, where ``counts`` is a read-only ``int32`` view into a shard
+        arena and copying it would defeat the zero-copy plane.  The caller
+        then guarantees the buffer outlives the index; :meth:`append` stays
+        safe either way because it replaces the matrix via ``vstack``.
+        """
         if counts.shape[1] != len(features):
             raise ValueError(
                 f"counts matrix has {counts.shape[1]} feature columns, "
@@ -63,7 +71,14 @@ class StructuralFeatureIndex:
         index._feature_pos = {
             feature.feature_id: column for column, feature in enumerate(index.features)
         }
-        index._counts = np.array(counts, dtype=np.int32)  # own the buffer
+        if copy:
+            index._counts = np.array(counts, dtype=np.int32)  # own the buffer
+        else:
+            if counts.dtype != np.int32:
+                raise ValueError(
+                    f"copy=False requires an int32 counts matrix, got {counts.dtype}"
+                )
+            index._counts = counts
         index._built = True
         return index
 

@@ -48,7 +48,10 @@ class StructuralFilter:
         if not index.is_built:
             raise ValueError("the structural feature index must be built first")
         self.index = index
-        self.skeletons = list(skeletons)
+        # kept as the sequence given, NOT listed: the planner passes a lazy
+        # per-graph view over shared-memory shards, and only the skeletons
+        # of deficit-test survivors are ever indexed below
+        self.skeletons = skeletons
         self.exact_check = exact_check
 
     def filter(self, query: LabeledGraph, distance_threshold: int) -> StructuralFilterResult:

@@ -1,0 +1,477 @@
+"""Shared-memory segments and the flat shard-arena layout.
+
+This module is the storage half of the zero-copy shard plane
+(:mod:`repro.core.sharding`): the parent process packs each shard's dense
+arrays — PMI lower/upper/presence matrices, structural counts, catalog
+id/tombstone columns — plus a few pickled blobs into **one**
+``multiprocessing.shared_memory`` segment per shard, and worker processes
+attach read-only.  What crosses the process boundary is an
+:class:`ArenaDescriptor`: segment name, dtypes, shapes, and byte offsets —
+O(1) in the shard's size — instead of an O(shard-bytes) pickle.
+
+Layout of one segment (offsets 64-byte aligned, recorded in the descriptor;
+the segment itself carries no header)::
+
+    [ array 0 | pad | array 1 | pad | ... | blob 0 | pad | blob 1 | ... ]
+
+Lifecycle rules, enforced here so callers cannot leak:
+
+* **Creation** registers the segment in a module-level owner registry keyed
+  by the creating pid; an ``atexit`` sweep unlinks everything the exiting
+  process still owns.  Forked children inherit the registry but never pass
+  the pid guard, so a worker can never unlink its parent's segments (pool
+  workers exit via ``os._exit`` and skip ``atexit`` entirely anyway).
+* **Attachment** never registers with ``multiprocessing.resource_tracker``:
+  on Pythons without ``SharedMemory(track=False)`` the tracker registration
+  is suppressed for the duration of the attach.  Without this, every worker
+  attach would re-register the name and the tracker would unlink live
+  segments (and warn about "leaks") at shutdown — the creator alone owns
+  the segment's lifetime.
+* **Unlink** is idempotent and also deregisters, so explicit ``close()``
+  paths, ``weakref.finalize`` callbacks, and the ``atexit`` sweep can all
+  race safely.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+import pickle
+import secrets
+import threading
+import weakref
+from collections.abc import Sequence
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ShmError
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "ArenaDescriptor",
+    "ArenaField",
+    "AttachedArena",
+    "LazyGraphList",
+    "ShardArena",
+    "attach_segment",
+    "create_segment",
+    "owned_segment_names",
+    "resident_segment_names",
+    "unlink_segment",
+]
+
+SEGMENT_PREFIX = "tpsshm"
+_ALIGNMENT = 64
+
+# name -> (SharedMemory, creating pid); only the creating pid may unlink
+_OWNED: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+
+# Attached (non-owner) segments are kept strongly referenced until released.
+# Without this, a garbage cycle can finalize the ``SharedMemory`` before the
+# numpy views into its buffer, and the stdlib ``__del__`` raises an
+# unraisable ``BufferError`` trying to close an mmap with live exports.
+_ATTACHED: dict[int, shared_memory.SharedMemory] = {}
+_REGISTRY_LOCK = threading.Lock()
+_ATTACH_LOCK = threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# segment lifecycle
+# ----------------------------------------------------------------------
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """A fresh shared-memory segment owned by this process.
+
+    The name is ``tpsshm_<pid:x>_<random>`` — short enough for macOS's
+    31-char shm name limit, prefixed so leak checks can scan for strays.
+    """
+    if nbytes < 0:
+        raise ShmError(f"segment size must be >= 0, got {nbytes!r}")
+    for _ in range(16):
+        name = f"{SEGMENT_PREFIX}_{os.getpid():x}_{secrets.token_hex(6)}"
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, nbytes)
+            )
+        except FileExistsError:
+            continue
+        with _REGISTRY_LOCK:
+            _OWNED[name] = (segment, os.getpid())
+        return segment
+    raise ShmError("could not allocate a uniquely named shared-memory segment")
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment WITHOUT resource-tracker registration.
+
+    The creator owns the segment's lifetime; an attach that registered with
+    the tracker would cause spurious leak warnings — and, with a per-process
+    tracker (spawn), an unlink of a live segment — when the attaching
+    process exits.  ``track=False`` is used where it exists (3.13+); older
+    Pythons get the registration suppressed around the attach call.
+    """
+    segment = None
+    try:
+        segment = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    except FileNotFoundError:
+        raise ShmError(f"shared-memory segment {name!r} does not exist") from None
+    if segment is None:
+        with _ATTACH_LOCK, _suppressed_tracking():
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                raise ShmError(
+                    f"shared-memory segment {name!r} does not exist"
+                ) from None
+    with _REGISTRY_LOCK:
+        _ATTACHED[id(segment)] = segment
+    return segment
+
+
+def release_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close an attached segment's mapping (idempotent, GC-safe).
+
+    If numpy views into the buffer are still alive the close would raise
+    ``BufferError``; in that case the segment stays in the keep-alive
+    registry and the mapping is released at interpreter exit instead of
+    letting the stdlib finalizer raise mid-session.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        return
+    with _REGISTRY_LOCK:
+        _ATTACHED.pop(id(segment), None)
+
+
+@contextlib.contextmanager
+def _suppressed_tracking():
+    """No-op ``resource_tracker.register`` for shared memory, temporarily.
+
+    ``shared_memory.SharedMemory.__init__`` looks the function up as a
+    module attribute on every call, so swapping it out here is effective
+    and safe to restore.
+    """
+    tracker = shared_memory.resource_tracker
+    original = tracker.register
+
+    def register(name, rtype):
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    tracker.register = register
+    try:
+        yield
+    finally:
+        tracker.register = original
+
+
+def unlink_segment(name: str) -> None:
+    """Close and unlink an owned segment (idempotent, owner-pid guarded)."""
+    with _REGISTRY_LOCK:
+        entry = _OWNED.pop(name, None)
+    if entry is None:
+        return
+    segment, owner_pid = entry
+    if owner_pid != os.getpid():
+        # a forked child inherited the registry entry; the segment is not
+        # ours to destroy (and the parent's sweep will handle it)
+        return
+    with contextlib.suppress(OSError, BufferError):
+        segment.close()
+    with contextlib.suppress(OSError, FileNotFoundError):
+        segment.unlink()
+
+
+def owned_segment_names() -> list[str]:
+    """Names this process created and has not yet unlinked."""
+    with _REGISTRY_LOCK:
+        pid = os.getpid()
+        return sorted(name for name, (_, owner) in _OWNED.items() if owner == pid)
+
+
+def resident_segment_names() -> list[str]:
+    """Every ``tpsshm_*`` segment resident on the system (leak-check probe).
+
+    Scans ``/dev/shm`` where it exists (Linux); elsewhere falls back to this
+    process's own registry, which still catches in-process leaks.
+    """
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        return sorted(p.name for p in shm_dir.glob(f"{SEGMENT_PREFIX}_*"))
+    return owned_segment_names()
+
+
+@atexit.register
+def _sweep_owned_segments() -> None:
+    for name in owned_segment_names():
+        unlink_segment(name)
+    with _REGISTRY_LOCK:
+        attached = list(_ATTACHED.values())
+        _ATTACHED.clear()
+    for segment in attached:
+        with contextlib.suppress(OSError, BufferError):
+            segment.close()
+
+
+# ----------------------------------------------------------------------
+# the flat arena layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArenaField:
+    """One packed array or blob: where it lives inside the segment."""
+
+    key: str
+    kind: str  # "array" | "blob"
+    dtype: str | None
+    shape: tuple[int, ...] | None
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class ArenaDescriptor:
+    """O(1) handle to a packed segment: everything attach needs, no data."""
+
+    segment: str
+    nbytes: int
+    fields: tuple[ArenaField, ...]
+
+    def field(self, key: str) -> ArenaField:
+        for entry in self.fields:
+            if entry.key == key:
+                return entry
+        raise ShmError(f"arena {self.segment!r} has no field {key!r}")
+
+    def __contains__(self, key: str) -> bool:
+        return any(entry.key == key for entry in self.fields)
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+class ShardArena:
+    """Owner side: one shard's arrays and blobs packed into one segment."""
+
+    def __init__(
+        self, segment: shared_memory.SharedMemory, descriptor: ArenaDescriptor
+    ) -> None:
+        self._segment = segment
+        self.descriptor = descriptor
+
+    @classmethod
+    def pack(
+        cls, arrays: dict[str, np.ndarray], blobs: dict[str, bytes]
+    ) -> "ShardArena":
+        """Copy ``arrays`` and ``blobs`` into a fresh segment, in one pass.
+
+        Each array is stored C-contiguous at a 64-byte-aligned offset;
+        zero-size arrays take no bytes and record offset 0.  This copy is
+        the *single* shared copy every worker will map — the caller keeps
+        (or drops) its private originals independently.
+        """
+        fields: list[ArenaField] = []
+        cursor = 0
+        plan: list[tuple[str, str, np.ndarray | bytes]] = []
+        for key, value in arrays.items():
+            array = np.ascontiguousarray(value)
+            offset = 0 if array.nbytes == 0 else _align(cursor)
+            fields.append(
+                ArenaField(
+                    key=key,
+                    kind="array",
+                    dtype=array.dtype.str,
+                    shape=tuple(int(n) for n in array.shape),
+                    offset=offset,
+                    nbytes=int(array.nbytes),
+                )
+            )
+            plan.append((key, "array", array))
+            cursor = offset + array.nbytes if array.nbytes else cursor
+        for key, payload in blobs.items():
+            data = bytes(payload)
+            offset = 0 if not data else _align(cursor)
+            fields.append(
+                ArenaField(
+                    key=key,
+                    kind="blob",
+                    dtype=None,
+                    shape=None,
+                    offset=offset,
+                    nbytes=len(data),
+                )
+            )
+            plan.append((key, "blob", data))
+            cursor = offset + len(data) if data else cursor
+        segment = create_segment(cursor)
+        descriptor = ArenaDescriptor(
+            segment=segment.name, nbytes=max(cursor, 1), fields=tuple(fields)
+        )
+        for field, (_, kind, value) in zip(fields, plan):
+            if field.nbytes == 0:
+                continue
+            if kind == "array":
+                target = np.ndarray(
+                    field.shape,
+                    dtype=np.dtype(field.dtype),
+                    buffer=segment.buf,
+                    offset=field.offset,
+                )
+                target[...] = value
+                del target  # drop the buffer export before anyone closes
+            else:
+                segment.buf[field.offset : field.offset + field.nbytes] = value
+        return cls(segment, descriptor)
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.segment
+
+    def unlink(self) -> None:
+        """Destroy the segment (idempotent).  Attached readers that already
+        mapped it keep working — POSIX unlink removes the name, not the
+        memory — but no new attach can find it."""
+        unlink_segment(self.name)
+
+
+class AttachedArena:
+    """Reader side: zero-copy views into a packed segment.
+
+    Arrays come back as read-only numpy views and blobs as read-only
+    memoryviews; both alias the mapping, so the arena object must outlive
+    every view taken from it.
+    """
+
+    def __init__(
+        self,
+        descriptor: ArenaDescriptor,
+        segment: shared_memory.SharedMemory | None = None,
+    ) -> None:
+        self.descriptor = descriptor
+        self._segment = segment or attach_segment(descriptor.segment)
+
+    @property
+    def nbytes(self) -> int:
+        return self.descriptor.nbytes
+
+    def array(self, key: str) -> np.ndarray:
+        field = self.descriptor.field(key)
+        if field.kind != "array":
+            raise ShmError(f"field {key!r} is a {field.kind}, not an array")
+        if field.nbytes == 0:
+            view = np.empty(field.shape, dtype=np.dtype(field.dtype))
+        else:
+            view = np.ndarray(
+                field.shape,
+                dtype=np.dtype(field.dtype),
+                buffer=self._segment.buf,
+                offset=field.offset,
+            )
+        view.flags.writeable = False
+        return view
+
+    def blob(self, key: str) -> memoryview:
+        field = self.descriptor.field(key)
+        if field.kind != "blob":
+            raise ShmError(f"field {key!r} is a {field.kind}, not a blob")
+        return self._segment.buf[field.offset : field.offset + field.nbytes].toreadonly()
+
+    def detach(self) -> None:
+        """Close this process's mapping.  Safe with live views: the release
+        is deferred to interpreter exit if the buffer still has exports."""
+        release_segment(self._segment)
+
+
+# ----------------------------------------------------------------------
+# lazy graph materialization
+# ----------------------------------------------------------------------
+class LazyGraphList(Sequence):
+    """Per-graph lazy unpickling over a concatenated pickle blob.
+
+    The arena stores each graph pickled separately, back to back, with an
+    ``int64`` offset table of ``n + 1`` entries.  A worker therefore pays
+    deserialization (and private memory) only for the graphs its queries
+    actually touch — pruned candidates stay as shared bytes.  Materialized
+    graphs are cached, so repeated access is a dict hit.
+    """
+
+    def __init__(self, buffer, offsets: np.ndarray, owner=None) -> None:
+        self._buffer = buffer
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        if self._offsets.ndim != 1 or self._offsets.size < 1:
+            raise ShmError("graph offset table must be a 1-D array of n + 1 entries")
+        self._cache: dict[int, object] = {}
+        # keeps the backing arena alive for as long as any graph may load
+        self._owner = owner
+
+    def __len__(self) -> int:
+        return int(self._offsets.size - 1)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"graph index {index} out of range")
+        graph = self._cache.get(index)
+        if graph is None:
+            start = int(self._offsets[index])
+            stop = int(self._offsets[index + 1])
+            graph = pickle.loads(self._buffer[start:stop])
+            self._cache[index] = graph
+        return graph
+
+    def materialized_count(self) -> int:
+        """How many graphs this process has actually deserialized."""
+        return len(self._cache)
+
+    def materialized_bytes(self) -> int:
+        """Serialized size of the graphs deserialized so far — the private
+        per-worker memory the lazy design did *not* avoid (diagnostics)."""
+        return sum(
+            int(self._offsets[index + 1] - self._offsets[index])
+            for index in self._cache
+        )
+
+
+class SkeletonSequence(Sequence):
+    """``graphs[i].skeleton`` without materializing the graph list.
+
+    A planner over a :class:`LazyGraphList` must not enumerate skeletons
+    eagerly — that would deserialize every graph and defeat the zero-copy
+    plane — so the structural filter indexes through this view instead.
+    """
+
+    def __init__(self, graphs: Sequence) -> None:
+        self._graphs = graphs
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [graph.skeleton for graph in self._graphs[index]]
+        return self._graphs[index].skeleton
+
+
+def finalize_unlink(owner, names: list[str]):
+    """A ``weakref.finalize`` that unlinks ``names`` when ``owner`` dies.
+
+    The callback runs at most once (GC, explicit call, or interpreter exit
+    — whichever comes first), and :func:`unlink_segment`'s pid guard makes
+    it inert in forked children.
+    """
+    return weakref.finalize(owner, _unlink_all, list(names))
+
+
+def _unlink_all(names: list[str]) -> None:
+    for name in names:
+        unlink_segment(name)

@@ -1,0 +1,356 @@
+"""Unit tests for the shared-memory segment manager and arena layout.
+
+Covers :mod:`repro.utils.shm` in isolation — segment lifecycle (create /
+attach / unlink / atexit), registration suppression on attach, the flat
+arena pack/attach round-trip, lazy graph materialization — plus the
+:class:`~repro.core.sharding.ShardPlane` cleanup guarantees: explicit
+close, garbage collection, and survival of a SIGKILL'd worker.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ProbabilisticGraphDatabase, SearchConfig, VerificationConfig
+from repro.core.sharding import ShardPlane, materialize_shard, publish_shard
+from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
+from repro.exceptions import ShmError
+from repro.utils import shm
+from repro.utils.shm import (
+    AttachedArena,
+    LazyGraphList,
+    ShardArena,
+    SkeletonSequence,
+    attach_segment,
+    create_segment,
+    owned_segment_names,
+    resident_segment_names,
+    unlink_segment,
+)
+
+SEARCH_CONFIG = SearchConfig(
+    verification=VerificationConfig(method="sampling", num_samples=60)
+)
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test in this file must leave the system segment-clean."""
+    before = set(resident_segment_names())
+    yield
+    gc.collect()
+    leaked = set(resident_segment_names()) - before
+    assert not leaked, f"test leaked shared-memory segments: {sorted(leaked)}"
+
+
+def small_database(num_graphs: int = 6, seed: int = 7):
+    config = PPIDatasetConfig(
+        num_graphs=num_graphs,
+        num_families=2,
+        vertices_per_graph=8,
+        edges_per_graph=9,
+        motif_vertices=3,
+        motif_edges=3,
+        mean_edge_probability=0.6,
+        probability_spread=0.2,
+    )
+    return generate_ppi_database(config, rng=seed)
+
+
+# ----------------------------------------------------------------------
+# segment lifecycle
+# ----------------------------------------------------------------------
+class TestSegmentLifecycle:
+    def test_create_registers_and_unlink_removes(self):
+        segment = create_segment(128)
+        assert segment.name in owned_segment_names()
+        assert segment.name in resident_segment_names()
+        unlink_segment(segment.name)
+        assert segment.name not in owned_segment_names()
+        assert segment.name not in resident_segment_names()
+
+    def test_unlink_is_idempotent(self):
+        segment = create_segment(64)
+        unlink_segment(segment.name)
+        unlink_segment(segment.name)  # second call must be a no-op
+
+    def test_zero_byte_segment_is_allowed(self):
+        segment = create_segment(0)
+        try:
+            assert segment.size >= 1  # POSIX forbids empty mappings
+        finally:
+            unlink_segment(segment.name)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ShmError):
+            create_segment(-1)
+
+    def test_attach_missing_segment_raises(self):
+        with pytest.raises(ShmError):
+            attach_segment("tpsshm_nonexistent")
+
+    def test_attach_does_not_register_with_resource_tracker(self):
+        """An attaching process must never take ownership of the segment.
+
+        A spawn-context child (its *own* resource tracker — the dangerous
+        configuration) attaches, reads, and exits; if the attach had
+        registered, the child's tracker would unlink the live segment at
+        exit.  The segment must survive and stay readable.
+        """
+        segment = create_segment(16)
+        try:
+            segment.buf[:5] = b"hello"
+            ctx = multiprocessing.get_context("spawn")
+            process = ctx.Process(target=_attach_and_exit, args=(segment.name,))
+            process.start()
+            process.join(timeout=60)
+            assert process.exitcode == 0
+            # give the child's resource tracker a moment to do its damage,
+            # if it were going to
+            time.sleep(0.2)
+            assert segment.name in resident_segment_names()
+            reader = attach_segment(segment.name)
+            assert bytes(reader.buf[:5]) == b"hello"
+            reader.close()
+        finally:
+            unlink_segment(segment.name)
+
+    def test_atexit_sweep_unlinks_owned_segments(self):
+        segment = create_segment(32)
+        assert segment.name in resident_segment_names()
+        shm._sweep_owned_segments()
+        assert segment.name not in resident_segment_names()
+
+
+def _attach_and_exit(name: str) -> None:
+    reader = attach_segment(name)
+    assert bytes(reader.buf[:5]) == b"hello"
+    reader.close()
+
+
+# ----------------------------------------------------------------------
+# arena pack / attach round-trip
+# ----------------------------------------------------------------------
+class TestArenaRoundTrip:
+    def test_arrays_and_blobs_round_trip(self):
+        arrays = {
+            "floats": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "flags": np.array([[True, False], [False, True]]),
+            "counts": np.arange(6, dtype=np.int32).reshape(2, 3),
+            "ids": np.array([5, 7, 11], dtype=np.int64),
+            "empty": np.zeros((0, 4), dtype=np.int32),
+        }
+        blobs = {"meta": pickle.dumps({"k": 1}), "raw": b"payload"}
+        arena = ShardArena.pack(arrays, blobs)
+        try:
+            attached = AttachedArena(arena.descriptor)
+            for key, original in arrays.items():
+                view = attached.array(key)
+                assert view.dtype == original.dtype
+                assert view.shape == original.shape
+                np.testing.assert_array_equal(view, original)
+                assert not view.flags.writeable
+            assert pickle.loads(attached.blob("meta")) == {"k": 1}
+            assert bytes(attached.blob("raw")) == b"payload"
+        finally:
+            arena.unlink()
+
+    def test_array_offsets_are_aligned(self):
+        arena = ShardArena.pack(
+            {"a": np.ones(3, dtype=np.float64), "b": np.ones(5, dtype=np.int32)},
+            {"blob": b"xyz"},
+        )
+        try:
+            for entry in arena.descriptor.fields:
+                if entry.nbytes:
+                    assert entry.offset % 64 == 0
+        finally:
+            arena.unlink()
+
+    def test_views_are_zero_copy(self):
+        """Writes through the owner's segment must show up in the attached
+        view — proof the reader maps the same pages instead of copying."""
+        source = np.zeros(4, dtype=np.float64)
+        arena = ShardArena.pack({"a": source}, {})
+        try:
+            attached = AttachedArena(arena.descriptor)
+            view = attached.array("a")
+            assert view[0] == 0.0
+            field = arena.descriptor.field("a")
+            patch = np.ndarray(
+                (4,), dtype=np.float64, buffer=arena._segment.buf, offset=field.offset
+            )
+            patch[0] = 42.0
+            del patch
+            assert view[0] == 42.0
+        finally:
+            arena.unlink()
+
+    def test_unknown_field_raises(self):
+        arena = ShardArena.pack({"a": np.ones(2)}, {})
+        try:
+            attached = AttachedArena(arena.descriptor)
+            with pytest.raises(ShmError):
+                attached.array("missing")
+            with pytest.raises(ShmError):
+                attached.blob("a")  # wrong kind
+        finally:
+            arena.unlink()
+
+    def test_descriptor_contains(self):
+        arena = ShardArena.pack({"a": np.ones(2)}, {"b": b"x"})
+        try:
+            assert "a" in arena.descriptor
+            assert "b" in arena.descriptor
+            assert "c" not in arena.descriptor
+        finally:
+            arena.unlink()
+
+
+# ----------------------------------------------------------------------
+# lazy graphs
+# ----------------------------------------------------------------------
+class TestLazyGraphs:
+    def _lazy_list(self, items):
+        payloads = [pickle.dumps(item) for item in items]
+        offsets = np.concatenate(
+            [[0], np.cumsum([len(p) for p in payloads])]
+        ).astype(np.int64)
+        return LazyGraphList(memoryview(b"".join(payloads)), offsets)
+
+    def test_lazy_materialization_and_cache(self):
+        lazy = self._lazy_list(["a", "bb", "ccc"])
+        assert len(lazy) == 3
+        assert lazy.materialized_count() == 0
+        assert lazy[1] == "bb"
+        assert lazy.materialized_count() == 1
+        assert lazy[1] == "bb"  # cache hit, still one
+        assert lazy.materialized_count() == 1
+        assert lazy.materialized_bytes() == len(pickle.dumps("bb"))
+
+    def test_negative_index_and_slice(self):
+        lazy = self._lazy_list(["a", "bb", "ccc"])
+        assert lazy[-1] == "ccc"
+        assert lazy[0:2] == ["a", "bb"]
+        assert list(lazy) == ["a", "bb", "ccc"]
+        with pytest.raises(IndexError):
+            lazy[3]
+
+    def test_empty_list(self):
+        lazy = self._lazy_list([])
+        assert len(lazy) == 0
+        assert list(lazy) == []
+
+    def test_skeleton_sequence_stays_lazy(self):
+        database = small_database(num_graphs=4)
+        payloads = [pickle.dumps(graph) for graph in database.graphs]
+        offsets = np.concatenate(
+            [[0], np.cumsum([len(p) for p in payloads])]
+        ).astype(np.int64)
+        lazy = LazyGraphList(memoryview(b"".join(payloads)), offsets)
+        skeletons = SkeletonSequence(lazy)
+        assert len(skeletons) == 4
+        _ = skeletons[2]
+        assert lazy.materialized_count() == 1  # only the touched graph
+
+
+# ----------------------------------------------------------------------
+# publish / materialize and plane cleanup
+# ----------------------------------------------------------------------
+class TestShardPlaneCleanup:
+    def _plane(self, max_workers=0):
+        database = small_database()
+        engine = ProbabilisticGraphDatabase(database.graphs)
+        engine.build_index(rng=11, num_shards=2, max_workers=max_workers)
+        return engine, ShardPlane(engine.planner.shards)
+
+    def test_publish_materialize_round_trip_in_process(self):
+        database = small_database()
+        engine = ProbabilisticGraphDatabase(database.graphs)
+        engine.build_index(rng=11, num_shards=2, max_workers=0)
+        shard = engine.planner.shards[0]
+        arena, descriptor = publish_shard(shard)
+        try:
+            clone = materialize_shard(descriptor)
+            assert clone.spec == shard.spec
+            np.testing.assert_array_equal(
+                clone.pmi.arena_arrays()["lower"], shard.pmi.arena_arrays()["lower"]
+            )
+            np.testing.assert_array_equal(
+                np.asarray(clone.structural_index.counts_matrix()),
+                np.asarray(shard.structural_index.counts_matrix()),
+            )
+            assert len(clone.graphs) == len(shard.graphs)
+            assert clone.graphs[0].name == shard.graphs[0].name
+            # the clone answers a query identically to the original shard
+            query = extract_query(database.graphs[0].skeleton, 3, rng=3)
+            expected = shard.make_planner().execute(
+                query, 0.3, 1, config=SEARCH_CONFIG, rng=5
+            )
+            actual = clone.make_planner().execute(
+                query, 0.3, 1, config=SEARCH_CONFIG, rng=5
+            )
+            assert [(a.graph_id, a.probability) for a in actual.answers] == [
+                (a.graph_id, a.probability) for a in expected.answers
+            ]
+        finally:
+            arena.unlink()
+
+    def test_close_unlinks_all_segments(self):
+        _engine, plane = self._plane()
+        names = plane.segment_names()
+        assert all(name in resident_segment_names() for name in names)
+        plane.close()
+        assert plane.closed
+        assert not any(name in resident_segment_names() for name in names)
+        plane.close()  # idempotent
+
+    def test_gc_unlinks_unclosed_plane(self):
+        _engine, plane = self._plane()
+        names = plane.segment_names()
+        del plane
+        gc.collect()
+        assert not any(name in resident_segment_names() for name in names)
+
+    def test_planner_close_retires_plane(self):
+        database = small_database()
+        engine = ProbabilisticGraphDatabase(database.graphs)
+        engine.build_index(rng=11, num_shards=2, max_workers=2)
+        query = extract_query(database.graphs[0].skeleton, 3, rng=3)
+        engine.query(query, 0.3, 1, config=SEARCH_CONFIG, rng=5)
+        plane = engine.planner.shard_plane
+        assert plane is not None
+        names = plane.segment_names()
+        assert names
+        engine.close()
+        assert engine.planner.shard_plane is None
+        assert not any(name in resident_segment_names() for name in names)
+
+    def test_sigkilled_worker_leaves_no_orphans(self):
+        """SIGKILL one pool worker mid-life: the broken pool falls back to
+        in-process execution, answers stay correct, and close() still
+        retires every segment — nothing leaks even though the worker died
+        without running any cleanup."""
+        database = small_database()
+        engine = ProbabilisticGraphDatabase(database.graphs)
+        engine.build_index(rng=11, num_shards=2, max_workers=2)
+        query = extract_query(database.graphs[0].skeleton, 3, rng=3)
+        expected = engine.query(query, 0.3, 1, config=SEARCH_CONFIG, rng=5)
+        executor = engine.planner._executor
+        assert executor is not None
+        victim_pid = next(iter(executor._processes))
+        os.kill(victim_pid, signal.SIGKILL)
+        survived = engine.query(query, 0.3, 1, config=SEARCH_CONFIG, rng=5)
+        assert [(a.graph_id, a.probability) for a in survived.answers] == [
+            (a.graph_id, a.probability) for a in expected.answers
+        ]
+        engine.close()
+        assert engine.planner.shard_plane is None
