@@ -356,6 +356,7 @@ class GraphCatalog:
         self._durability: _Durability | None = None
         self._wal_suppressed = False
         self._planner_cache: QueryPlanner | ShardedPlanner | None = None
+        self._mutation_generation = 0
         # external id -> (store index, storage row); covers live rows only
         self._live: dict[int, tuple[int, int]] = {}
         next_id = 0
@@ -805,6 +806,22 @@ class GraphCatalog:
         return len(self._live)
 
     @property
+    def mutation_generation(self) -> int:
+        """A monotonic token naming the current live ``(id → graph)`` state.
+
+        Bumped by every ``add_graph`` / ``remove_graph`` / ``update_graph``
+        and by ``compact()`` (the shared-memory hot-swap included), never by
+        queries or :meth:`close`.  Answers are pure functions of
+        ``(mutation_generation, query, params, rng root)``, which is exactly
+        what makes them cacheable: the query service keys its answer cache
+        on this token, so a stale-generation answer can never be served
+        after a mutation or hot-swap.  Compaction bumps it too even though
+        answers are unchanged — a deliberately conservative choice (a spare
+        cache miss is free; a stale hit would be a contract violation).
+        """
+        return self._mutation_generation
+
+    @property
     def num_shards(self) -> int:
         return len(self._stores)
 
@@ -908,6 +925,7 @@ class GraphCatalog:
         position = self._stores[store_index].append(graph, external_id, self._root)
         self._live[external_id] = (store_index, position)
         self._next_external_id = max(self._next_external_id, external_id + 1)
+        self._mutation_generation += 1
         self._invalidate()
         return external_id
 
@@ -921,6 +939,7 @@ class GraphCatalog:
             )
         self._stores[store_index].tombstone[position] = True
         del self._live[external_id]
+        self._mutation_generation += 1
         self._invalidate()
 
     def update_graph(self, external_id: int, graph: ProbabilisticGraph) -> None:
@@ -994,6 +1013,7 @@ class GraphCatalog:
                         ),
                     )
                 )
+        self._mutation_generation += 1
         self._invalidate()
         self._stores = stores
         self._live = {
@@ -1029,12 +1049,23 @@ class GraphCatalog:
         distance_threshold: int,
         config=None,
         rng: RandomLike = None,
+        rngs: list[RandomLike] | None = None,
     ) -> list[QueryResult]:
-        """A T-PS workload; identical answers to sequential :meth:`query` calls."""
+        """A T-PS workload; identical answers to sequential :meth:`query` calls.
+
+        ``rngs`` (mutually exclusive with ``rng``) supplies one RNG per query,
+        so callers batching unrelated requests — the query service — keep each
+        request's answers independent of batch composition.
+        """
         for query_graph in query_graphs:
             validate_query(query_graph, probability_threshold, distance_threshold)
         return self._planner().execute_many(
-            query_graphs, probability_threshold, distance_threshold, config, rng=rng
+            query_graphs,
+            probability_threshold,
+            distance_threshold,
+            config,
+            rng=rng,
+            rngs=rngs,
         )
 
     def query_top_k(
@@ -1058,12 +1089,16 @@ class GraphCatalog:
         distance_threshold: int,
         config=None,
         rng: RandomLike = None,
+        rngs: list[RandomLike] | None = None,
     ) -> list[QueryResult]:
-        """A top-k workload; one result per query, in input order."""
+        """A top-k workload; one result per query, in input order.
+
+        ``rngs`` has the same per-query contract as :meth:`query_many`.
+        """
         for query_graph in query_graphs:
             validate_top_k_query(query_graph, k, distance_threshold)
         return self._planner().execute_top_k_many(
-            query_graphs, k, distance_threshold, config, rng=rng
+            query_graphs, k, distance_threshold, config, rng=rng, rngs=rngs
         )
 
     # ------------------------------------------------------------------

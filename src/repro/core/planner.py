@@ -106,6 +106,30 @@ def validate_top_k_query(
     return k
 
 
+def _resolve_rngs(
+    rng: RandomLike, rngs: list[RandomLike] | None, num_queries: int
+) -> list[RandomLike]:
+    """Normalize the two workload RNG forms into one per-query list.
+
+    ``rngs`` (one entry per query, mutually exclusive with ``rng``) is the
+    micro-batching form: each query's streams derive from its own entry, so
+    the batch answers cannot depend on which other queries happened to share
+    the batch.  Without it, every query gets the shared ``rng`` — the
+    historical semantics (an int seed re-normalizes per query; a
+    ``random.Random`` is consumed sequentially across the batch).
+    """
+    if rngs is None:
+        return [rng] * num_queries
+    if rng is not None:
+        raise QueryError("pass either rng or rngs, not both")
+    rngs = list(rngs)
+    if len(rngs) != num_queries:
+        raise QueryError(
+            f"rngs has {len(rngs)} entries for {num_queries} queries"
+        )
+    return rngs
+
+
 @dataclass
 class QueryPlan:
     """Everything derivable from (query, thresholds, config) alone.
@@ -297,6 +321,7 @@ class QueryPlanner:
         distance_threshold: int,
         config: "SearchConfig | None" = None,
         rng: RandomLike = None,
+        rngs: list[RandomLike] | None = None,
     ) -> list[QueryResult]:
         """Execute a workload against the shared plan machinery.
 
@@ -306,12 +331,19 @@ class QueryPlanner:
         query, so ``query_many(qs, ..., rng=7)`` returns exactly the answers
         of ``[query(q, ..., rng=7) for q in qs]``; a shared ``random.Random``
         instance is consumed sequentially across the batch.
+
+        ``rngs`` supplies one independent ``rng`` per query instead — the
+        micro-batching contract: ``query_many(qs, ..., rngs=[s0, s1, ...])``
+        is byte-identical to ``[query(q, ..., rng=s) for q, s in zip(...)]``,
+        so a service can coalesce requests that each carry their own seed
+        without the batch composition leaking into any answer.
         """
+        rngs = _resolve_rngs(rng, rngs, len(queries))
         return [
             self.execute(
-                query, probability_threshold, distance_threshold, config, rng=rng
+                query, probability_threshold, distance_threshold, config, rng=query_rng
             )
-            for query in queries
+            for query, query_rng in zip(queries, rngs)
         ]
 
     def execute_top_k(
@@ -342,11 +374,13 @@ class QueryPlanner:
         distance_threshold: int,
         config: "SearchConfig | None" = None,
         rng: RandomLike = None,
+        rngs: list[RandomLike] | None = None,
     ) -> list[QueryResult]:
-        """A top-k workload; ``rng`` semantics match :meth:`execute_many`."""
+        """A top-k workload; ``rng``/``rngs`` semantics match :meth:`execute_many`."""
+        rngs = _resolve_rngs(rng, rngs, len(queries))
         return [
-            self.execute_top_k(query, k, distance_threshold, config, rng=rng)
-            for query in queries
+            self.execute_top_k(query, k, distance_threshold, config, rng=query_rng)
+            for query, query_rng in zip(queries, rngs)
         ]
 
     def execute_plan(self, plan: QueryPlan, rng: RandomLike = None) -> QueryResult:

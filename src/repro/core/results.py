@@ -21,6 +21,29 @@ class QueryAnswer:
     probability: float
     decided_by: str
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form; :meth:`from_dict` round-trips it exactly.
+
+        ``probability`` survives the trip bit-for-bit: ``json`` emits
+        ``repr(float)`` (shortest round-tripping decimal), so the service
+        layer can ship answers over the wire without breaking byte-parity.
+        """
+        return {
+            "graph_id": self.graph_id,
+            "graph_name": self.graph_name,
+            "probability": self.probability,
+            "decided_by": self.decided_by,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryAnswer":
+        return cls(
+            graph_id=int(data["graph_id"]),
+            graph_name=data["graph_name"],
+            probability=float(data["probability"]),
+            decided_by=data["decided_by"],
+        )
+
 
 @dataclass
 class StageStatistics:
@@ -157,6 +180,42 @@ class QueryStatistics:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryStatistics":
+        """Inverse of :meth:`as_dict`.
+
+        Counters (the deterministic contract) round-trip exactly; the
+        ``*_seconds`` fields come back rounded to the microsecond
+        :meth:`as_dict` serialized, which is all a remote caller ever saw.
+        """
+        stats = cls(
+            database_size=int(data.get("database_size", 0)),
+            structural_candidates=int(data.get("structural_candidates", 0)),
+            probabilistic_candidates=int(data.get("probabilistic_candidates", 0)),
+            accepted_by_lower_bound=int(data.get("accepted_by_lower_bound", 0)),
+            pruned_by_upper_bound=int(data.get("pruned_by_upper_bound", 0)),
+            verified=int(data.get("verified", 0)),
+            answers=int(data.get("answers", 0)),
+            structural_seconds=float(data.get("structural_seconds", 0.0)),
+            probabilistic_seconds=float(data.get("probabilistic_seconds", 0.0)),
+            verification_seconds=float(data.get("verification_seconds", 0.0)),
+            total_seconds=float(data.get("total_seconds", 0.0)),
+            relaxed_query_count=int(data.get("relaxed_query_count", 0)),
+        )
+        stage_seconds = data.get("stage_seconds", {})
+        for counters in data.get("stage_counters", []):
+            stats.stages.append(
+                StageStatistics(
+                    stage=counters["stage"],
+                    examined=int(counters["examined"]),
+                    pruned=int(counters["pruned"]),
+                    accepted=int(counters["accepted"]),
+                    passed=int(counters["passed"]),
+                    seconds=float(stage_seconds.get(counters["stage"], 0.0)),
+                )
+            )
+        return stats
+
 
 @dataclass
 class QueryResult:
@@ -167,6 +226,25 @@ class QueryResult:
 
     def answer_ids(self) -> set[int]:
         return {answer.graph_id for answer in self.answers}
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form: the query service's wire format.
+
+        Answers round-trip byte-identically (see :meth:`QueryAnswer.as_dict`)
+        and the statistics counters round-trip exactly, so a remote caller
+        can hold the service to the same parity contract as library mode.
+        """
+        return {
+            "answers": [answer.as_dict() for answer in self.answers],
+            "statistics": self.statistics.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryResult":
+        return cls(
+            answers=[QueryAnswer.from_dict(entry) for entry in data["answers"]],
+            statistics=QueryStatistics.from_dict(data["statistics"]),
+        )
 
     def __len__(self) -> int:
         return len(self.answers)

@@ -60,6 +60,7 @@ import hashlib
 import json
 import os
 import pickle
+import threading
 import zipfile
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -69,7 +70,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.pipeline import TopKPartial, merge_top_k_partials
-from repro.core.planner import QueryPlanner
+from repro.core.planner import QueryPlanner, _resolve_rngs
 from repro.core.results import QueryResult, QueryStatistics
 from repro.exceptions import IndexError_
 from repro.graphs.labeled_graph import LabeledGraph
@@ -685,6 +686,12 @@ class ShardedPlanner:
         self._executor_width = 0
         self._local_planners: dict[int, QueryPlanner] = {}
         self._plane: ShardPlane | None = None
+        # Guards the pool/plane lifecycle against concurrent submission: the
+        # query service fans requests in from worker threads, so executor
+        # creation, task submission, resize, and close must serialize.
+        # Reentrant because the BrokenProcessPool fallback inside _fan_out
+        # calls close() from a frame that may re-enter locked helpers.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # construction
@@ -809,21 +816,26 @@ class ShardedPlanner:
         distance_threshold: int,
         config=None,
         rng: RandomLike = None,
+        rngs: list[RandomLike] | None = None,
     ) -> list[QueryResult]:
         """A whole workload: one pool task per shard, each running all queries.
 
         The per-query RNG roots are derived here, in the parent, in query
         order — exactly the draws :meth:`QueryPlanner.execute_many` would
         make — then shipped to every shard so all of them agree on each
-        query's streams.  Planning (validation, Lemma-1 relaxation, and the
-        one-VF2-round-per-feature containment pass) also happens once here:
-        a :class:`QueryPlan` depends only on the query, thresholds, config,
-        and the globally shared feature set, so shards receive finished
-        plans instead of each re-deriving the same one K times.
+        query's streams.  ``rngs`` (one entry per query, exclusive with
+        ``rng``) instead derives each root from that query's own entry: the
+        micro-batching form, byte-identical to executing every query alone
+        with its own seed regardless of batch composition.  Planning
+        (validation, Lemma-1 relaxation, and the one-VF2-round-per-feature
+        containment pass) also happens once here: a :class:`QueryPlan`
+        depends only on the query, thresholds, config, and the globally
+        shared feature set, so shards receive finished plans instead of each
+        re-deriving the same one K times.
         """
         if not queries:
             return []
-        roots = [rng_root(rng) for _ in queries]
+        roots = [rng_root(r) for r in _resolve_rngs(rng, rngs, len(queries))]
         lead = self._planner_for(self.shards[0])
         plans = [
             lead.plan(query, probability_threshold, distance_threshold, config)
@@ -853,6 +865,7 @@ class ShardedPlanner:
         distance_threshold: int,
         config=None,
         rng: RandomLike = None,
+        rngs: list[RandomLike] | None = None,
     ) -> list[QueryResult]:
         """A top-k workload with the cross-shard merge invariant.
 
@@ -868,7 +881,7 @@ class ShardedPlanner:
         """
         if not queries:
             return []
-        roots = [rng_root(rng) for _ in queries]
+        roots = [rng_root(r) for r in _resolve_rngs(rng, rngs, len(queries))]
         lead = self._planner_for(self.shards[0])
         plans = [lead.plan_top_k(query, k, distance_threshold, config) for query in queries]
         per_shard = self._fan_out(plans, roots, partial=True)
@@ -888,7 +901,7 @@ class ShardedPlanner:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down and retire the published segments (idempotent).
+        """Shut the pool down and retire the published segments.
 
         Order matters: the pool shutdown joins every worker first — that is
         the re-attach barrier of the hot-swap protocol, after which no
@@ -896,11 +909,20 @@ class ShardedPlanner:
         A new query re-creates both, publishing a fresh generation; this is
         exactly how a catalog mutation or ``compact()`` swaps generations
         (``GraphCatalog._invalidate`` closes the cached planner).
+
+        Safe under concurrency (the drain-on-shutdown contract): idempotent
+        — a second ``close()``, including one racing the first from another
+        thread, is a no-op — and a ``close()`` racing an in-flight
+        ``execute*`` drains it rather than tearing it down: the pool
+        shutdown waits for every submitted task, so the in-flight query
+        still returns its (byte-identical) answers and no worker ever
+        outlives the segments it has attached.
         """
-        self._shutdown_pool()
-        if self._plane is not None:
-            self._plane.close()
-            self._plane = None
+        with self._lock:
+            self._shutdown_pool()
+            if self._plane is not None:
+                self._plane.close()
+                self._plane = None
 
     def __enter__(self) -> "ShardedPlanner":
         return self
@@ -916,18 +938,25 @@ class ShardedPlanner:
 
         Returns per-shard result lists, query-index aligned.  ``partial``
         selects shard-partial top-k execution over plain plan execution.
+        Executor acquisition and task submission happen atomically under the
+        lifecycle lock, so a concurrent ``close()`` either runs before this
+        batch (which then builds a fresh pool) or drains it (pool shutdown
+        waits for submitted tasks); waiting on the futures happens outside
+        the lock so concurrent submitters and a draining ``close()`` never
+        deadlock on each other.
         """
         workers = _resolve_workers(self.max_workers, len(self.shards))
         if workers <= 1 or len(self.shards) == 1:
             return self._execute_serial(plans, roots, partial)
         try:
-            pool = self._ensure_executor(workers)
-            futures = [
-                pool.submit(
-                    _run_shard_workload, shard.spec.shard_id, plans, roots, partial
-                )
-                for shard in self.shards
-            ]
+            with self._lock:
+                pool = self._ensure_executor(workers)
+                futures = [
+                    pool.submit(
+                        _run_shard_workload, shard.spec.shard_id, plans, roots, partial
+                    )
+                    for shard in self.shards
+                ]
             return [future.result() for future in futures]
         except BrokenProcessPool:
             # a killed worker poisons the whole pool; answers are
@@ -958,11 +987,12 @@ class ShardedPlanner:
         return per_shard
 
     def _planner_for(self, shard: DatabaseShard) -> QueryPlanner:
-        planner = self._local_planners.get(shard.spec.shard_id)
-        if planner is None:
-            planner = shard.make_planner()
-            self._local_planners[shard.spec.shard_id] = planner
-        return planner
+        with self._lock:
+            planner = self._local_planners.get(shard.spec.shard_id)
+            if planner is None:
+                planner = shard.make_planner()
+                self._local_planners[shard.spec.shard_id] = planner
+            return planner
 
     @property
     def shard_plane(self) -> ShardPlane | None:
@@ -979,42 +1009,50 @@ class ShardedPlanner:
         this to measure the initializer cost.
         """
         if self.use_shared_memory:
-            return self._ensure_plane().payload()
+            with self._lock:
+                return self._ensure_plane().payload()
         return self.shards
 
     def _ensure_plane(self) -> ShardPlane:
-        if self._plane is None:
-            self._plane = ShardPlane(self.shards)
-        return self._plane
+        with self._lock:
+            if self._plane is None:
+                self._plane = ShardPlane(self.shards)
+            return self._plane
 
     def _shutdown_pool(self) -> None:
-        """Join and drop the executor, leaving the plane published."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
-            self._executor_width = 0
+        """Join and drop the executor, leaving the plane published.
+
+        ``shutdown()`` waits for every already-submitted task, so a close
+        racing an in-flight query drains it instead of cancelling it.
+        """
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+                self._executor_width = 0
 
     def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
-        if self._executor is not None and self._executor_width != workers:
-            # resize: recycle only the pool — the published plane survives,
-            # so the new workers re-attach via O(1) descriptors instead of
-            # paying a fresh copy of every shard
-            self._shutdown_pool()
-        if self._executor is None:
-            if self.use_shared_memory:
-                initializer, initargs = (
-                    _init_shm_query_worker,
-                    (self._ensure_plane().payload(),),
+        with self._lock:
+            if self._executor is not None and self._executor_width != workers:
+                # resize: recycle only the pool — the published plane
+                # survives, so the new workers re-attach via O(1)
+                # descriptors instead of paying a fresh copy of every shard
+                self._shutdown_pool()
+            if self._executor is None:
+                if self.use_shared_memory:
+                    initializer, initargs = (
+                        _init_shm_query_worker,
+                        (self._ensure_plane().payload(),),
+                    )
+                else:
+                    initializer, initargs = _init_query_worker, (self.shards,)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=initializer,
+                    initargs=initargs,
                 )
-            else:
-                initializer, initargs = _init_query_worker, (self.shards,)
-            self._executor = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=initializer,
-                initargs=initargs,
-            )
-            self._executor_width = workers
-        return self._executor
+                self._executor_width = workers
+            return self._executor
 
 
 def _resolve_workers(max_workers: int | None, num_tasks: int) -> int:

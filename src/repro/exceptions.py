@@ -74,6 +74,21 @@ class ShmError(ReproError):
     record, or packing inconsistent array metadata."""
 
 
+class ServiceError(ReproError):
+    """Raised by the query service for request-level failures.
+
+    Every instance carries a stable machine-readable ``code`` — one of
+    ``"bad_request"``, ``"overloaded"``, ``"deadline_exceeded"``,
+    ``"shutting_down"``, or ``"internal"`` — which is exactly the string a
+    remote client receives in the error frame, so in-process and TCP callers
+    can branch on the same values.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class VerificationError(ReproError):
     """Raised when verification cannot be carried out (for example exact
     verification requested on a graph that is too large to enumerate)."""

@@ -1,0 +1,47 @@
+"""Always-on asyncio query service over the mutable graph catalog.
+
+The service keeps one :class:`~repro.core.catalog.GraphCatalog` hot behind
+an NDJSON-over-TCP front end (plus an in-process client for tests),
+coalesces concurrent requests into ``query_many`` micro-batches without
+changing a single answer byte, caches seeded answers keyed on the catalog's
+mutation generation, and applies admission control — bounded queue,
+per-request deadlines, graceful drain.  See :mod:`repro.service.server`
+for the execution model.
+"""
+
+from repro.service.cache import AnswerCache, CacheStats
+from repro.service.client import ServiceClient, TcpServiceClient
+from repro.service.protocol import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    ERROR_CODES,
+    INTERNAL,
+    OVERLOADED,
+    SHUTTING_DOWN,
+    Request,
+    canonical_query_key,
+    decode_frame,
+    encode_frame,
+    parse_request,
+)
+from repro.service.server import QueryService, ServiceConfig
+
+__all__ = [
+    "AnswerCache",
+    "CacheStats",
+    "ServiceClient",
+    "TcpServiceClient",
+    "QueryService",
+    "ServiceConfig",
+    "Request",
+    "canonical_query_key",
+    "parse_request",
+    "encode_frame",
+    "decode_frame",
+    "ERROR_CODES",
+    "BAD_REQUEST",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "SHUTTING_DOWN",
+    "INTERNAL",
+]

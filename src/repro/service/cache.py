@@ -1,0 +1,99 @@
+"""LRU answer cache for the query service.
+
+Entries are keyed on ``(group key, canonical query form, rng root,
+catalog generation)`` — see :meth:`repro.service.protocol.Request.cache_key`.
+The generation component alone already guarantees a stale answer is never
+*served* (a lookup after any mutation uses a new generation and misses);
+:meth:`invalidate` additionally drops the dead entries so memory does not
+accumulate one whole answer set per historical generation.
+
+Only seeded query requests participate: an unseeded request draws a fresh
+RNG root per call, so its answers are legitimately non-reproducible and a
+hit could never occur anyway.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from threading import Lock
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters; ``hit_rate`` is derived on demand."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries_invalidated: int = 0
+
+    def as_dict(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / lookups, 6) if lookups else 0.0,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries_invalidated": self.entries_invalidated,
+        }
+
+
+class AnswerCache:
+    """A bounded LRU of serialized query results.
+
+    Values are the JSON-ready ``QueryResult.as_dict()`` payloads — caching
+    the wire form (not the dataclass) means a hit is returned byte-identical
+    to the original response without re-serialization, and the cache never
+    aliases mutable result objects between requests.
+
+    Thread-safe: lookups happen on the event loop while the dispatcher's
+    backend thread inserts results.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries!r}")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self._lock = Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple | None) -> dict | None:
+        """The cached payload, or ``None``; uncacheable keys count as misses."""
+        if key is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return payload
+
+    def put(self, key: tuple | None, payload: dict) -> None:
+        if key is None or self._max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop everything (a catalog mutation happened); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += 1
+            self.stats.entries_invalidated += dropped
+            return dropped

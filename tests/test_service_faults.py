@@ -1,0 +1,454 @@
+"""Fault injection for the query service and the sharded-planner lifecycle.
+
+Every failure mode must resolve into a *typed* error frame or a clean
+recovery — never a hang, never a crashed dispatcher, and (the autouse
+fixture below) never an orphaned shared-memory segment:
+
+* client disconnect mid-request — the work is dropped, the service lives;
+* per-request deadline expiry — ``deadline_exceeded``, work skipped;
+* a SIGKILL'd pool worker — the broken pool falls back in-process with
+  byte-identical answers, then rebuilds;
+* a full admission queue — immediate ``overloaded``;
+* graceful shutdown mid-batch — queued work completes, new work gets
+  ``shutting_down``;
+* ``ShardedPlanner.close()`` double-close and close-during-inflight —
+  idempotent and drain-on-close under concurrent submission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.core import GraphCatalog, SearchConfig, VerificationConfig
+from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
+from repro.exceptions import ServiceError
+from repro.pmi import BoundConfig, FeatureSelectionConfig
+from repro.service import QueryService, ServiceClient, ServiceConfig
+from repro.service.protocol import DEADLINE_EXCEEDED, OVERLOADED, SHUTTING_DOWN
+from repro.utils.shm import resident_segment_names
+
+PROBABILITY_THRESHOLD = 0.3
+DISTANCE_THRESHOLD = 1
+FEATURE_CONFIG = FeatureSelectionConfig(
+    alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=10
+)
+BOUND_CONFIG = BoundConfig(num_samples=40)
+SEARCH_CONFIG = SearchConfig(
+    verification=VerificationConfig(method="sampling", num_samples=80)
+)
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Same bar as test_shm_parity: faults must not orphan shm segments."""
+    before = set(resident_segment_names())
+    yield
+    gc.collect()
+    leaked = set(resident_segment_names()) - before
+    assert not leaked, f"orphaned shared-memory segments: {sorted(leaked)}"
+
+
+def build_catalog(seed: int, num_graphs: int = 6, **kwargs) -> tuple:
+    config = PPIDatasetConfig(
+        num_graphs=num_graphs,
+        num_families=2,
+        vertices_per_graph=8,
+        edges_per_graph=9,
+        motif_vertices=3,
+        motif_edges=3,
+        mean_edge_probability=0.6,
+        probability_spread=0.2,
+    )
+    database = generate_ppi_database(config, rng=seed)
+    catalog = GraphCatalog.build(
+        database.graphs,
+        feature_config=FEATURE_CONFIG,
+        bound_config=BOUND_CONFIG,
+        rng=seed,
+        **kwargs,
+    )
+    return database, catalog
+
+
+def answer_tuples(result):
+    return [
+        (a.graph_id, a.graph_name, a.probability, a.decided_by)
+        for a in result.answers
+    ]
+
+
+def test_client_disconnect_mid_request_does_not_kill_the_service():
+    """A TCP client that vanishes mid-request leaves the service healthy."""
+
+    async def scenario():
+        database, catalog = build_catalog(seed=7001)
+        query = extract_query(database.graphs[0].skeleton, 3, rng=1)
+        # A long batch window guarantees the rude client's request is still
+        # queued (not executing) when the connection dies.
+        config = ServiceConfig(batch_window=0.2, search_config=SEARCH_CONFIG)
+        try:
+            async with QueryService(catalog, config) as service:
+                host, port = await service.serve_tcp()
+                client = ServiceClient(service)
+
+                from repro.service.client import TcpServiceClient
+
+                rude = await TcpServiceClient().connect(host, port)
+                rude_job = asyncio.create_task(
+                    rude.query(query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=5)
+                )
+                await asyncio.sleep(0.02)  # let the frame reach the queue
+                await rude.close()
+                rude_job.cancel()
+                try:
+                    await rude_job
+                except (asyncio.CancelledError, ServiceError):
+                    pass
+
+                # The service still answers correctly for everyone else.
+                result = await client.query(
+                    query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=5
+                )
+                expected = catalog.query(
+                    query,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    config=SEARCH_CONFIG,
+                    rng=5,
+                )
+                assert answer_tuples(result) == answer_tuples(expected)
+                health = await client.health()
+                assert health["status"] == "ok"
+        finally:
+            catalog.close()
+
+    asyncio.run(scenario())
+
+
+def test_deadline_expiry_is_typed_and_skips_execution():
+    """An expired deadline yields ``deadline_exceeded``; the dispatcher drops
+    the corpse instead of burning backend time on it."""
+
+    async def scenario():
+        database, catalog = build_catalog(seed=7002)
+        query = extract_query(database.graphs[0].skeleton, 3, rng=2)
+        # Window far longer than the deadline: the request must time out in
+        # the queue, and the later batch must skip it.
+        config = ServiceConfig(batch_window=0.3, search_config=SEARCH_CONFIG)
+        try:
+            async with QueryService(catalog, config) as service:
+                client = ServiceClient(service)
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.query(
+                        query,
+                        PROBABILITY_THRESHOLD,
+                        DISTANCE_THRESHOLD,
+                        rng=3,
+                        deadline=0.01,
+                    )
+                assert excinfo.value.code == DEADLINE_EXCEEDED
+                stats = await client.stats()
+                assert stats["counters"]["deadline_expired"] == 1
+                # An unhurried request on the same service still completes.
+                result = await client.query(
+                    query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=3
+                )
+                expected = catalog.query(
+                    query,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    config=SEARCH_CONFIG,
+                    rng=3,
+                )
+                assert answer_tuples(result) == answer_tuples(expected)
+        finally:
+            catalog.close()
+
+    asyncio.run(scenario())
+
+
+def test_default_deadline_applies_to_requests_without_one():
+    async def scenario():
+        database, catalog = build_catalog(seed=7003)
+        query = extract_query(database.graphs[1].skeleton, 3, rng=4)
+        config = ServiceConfig(
+            batch_window=0.3, default_deadline=0.01, search_config=SEARCH_CONFIG
+        )
+        try:
+            async with QueryService(catalog, config) as service:
+                client = ServiceClient(service)
+                with pytest.raises(ServiceError) as excinfo:
+                    await client.query(query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=6)
+                assert excinfo.value.code == DEADLINE_EXCEEDED
+        finally:
+            catalog.close()
+
+    asyncio.run(scenario())
+
+
+def test_sigkilled_pool_worker_recovers_with_identical_answers():
+    """SIGKILL a pool worker: the poisoned pool falls back in-process and the
+    answers stay byte-identical (determinism is execution-strategy-free)."""
+
+    async def scenario():
+        database, catalog = build_catalog(seed=7004, num_shards=2, max_workers=2)
+        reference = GraphCatalog.build(
+            database.graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7004,
+        )
+        query = extract_query(database.graphs[2].skeleton, 3, rng=8)
+        config = ServiceConfig(batch_window=0.0, search_config=SEARCH_CONFIG)
+        try:
+            async with QueryService(catalog, config) as service:
+                client = ServiceClient(service)
+                # Warm the pool, then murder one of its workers.
+                await client.query(query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=9)
+                planner = catalog._planner()
+                assert planner._executor is not None, "pool should be warm"
+                victim = next(iter(planner._executor._processes.values()))
+                os.kill(victim.pid, signal.SIGKILL)
+
+                result = await client.query(
+                    query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=10
+                )
+                expected = reference.query(
+                    query,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    config=SEARCH_CONFIG,
+                    rng=10,
+                )
+                assert answer_tuples(result) == answer_tuples(expected)
+                health = await client.health()
+                assert health["status"] == "ok"
+        finally:
+            catalog.close()
+            reference.close()
+
+    asyncio.run(scenario())
+
+
+def test_full_admission_queue_is_typed_and_never_hangs():
+    """Submissions beyond ``max_queue_depth`` fail fast with ``overloaded``."""
+
+    async def scenario():
+        database, catalog = build_catalog(seed=7005)
+        query = extract_query(database.graphs[0].skeleton, 3, rng=11)
+        # Big window keeps the first submissions parked in the queue while
+        # the overflow submission arrives.
+        config = ServiceConfig(
+            batch_window=0.3, max_queue_depth=2, search_config=SEARCH_CONFIG
+        )
+        try:
+            async with QueryService(catalog, config) as service:
+                client = ServiceClient(service)
+                jobs = [
+                    asyncio.create_task(
+                        client.query(
+                            query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=20 + i
+                        )
+                    )
+                    for i in range(2)
+                ]
+                await asyncio.sleep(0.02)  # both queued, window still open
+                overflow = ServiceClient(service)
+                with pytest.raises(ServiceError) as excinfo:
+                    await asyncio.wait_for(
+                        overflow.query(
+                            query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=30
+                        ),
+                        timeout=2.0,  # "never hangs": rejection is immediate
+                    )
+                assert excinfo.value.code == OVERLOADED
+                results = await asyncio.gather(*jobs)  # queued work unharmed
+                assert all(result is not None for result in results)
+                stats = await client.stats()
+                assert stats["counters"]["rejected_overloaded"] == 1
+        finally:
+            catalog.close()
+
+    asyncio.run(scenario())
+
+
+def test_graceful_shutdown_mid_batch_drains_then_refuses():
+    """stop() during queued traffic: admitted work completes with real
+    answers; post-stop submissions get ``shutting_down``."""
+
+    async def scenario():
+        database, catalog = build_catalog(seed=7006)
+        queries = [extract_query(database.graphs[i].skeleton, 3, rng=40 + i) for i in range(3)]
+        config = ServiceConfig(batch_window=0.1, search_config=SEARCH_CONFIG)
+        service = await QueryService(catalog, config).start()
+        client = ServiceClient(service)
+        try:
+            jobs = [
+                asyncio.create_task(
+                    client.query(query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=50 + i)
+                )
+                for i, query in enumerate(queries)
+            ]
+            await asyncio.sleep(0.02)  # admitted, sitting in the window
+            await service.stop()
+            results = await asyncio.gather(*jobs)
+            for i, (query, result) in enumerate(zip(queries, results)):
+                expected = catalog.query(
+                    query,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    config=SEARCH_CONFIG,
+                    rng=50 + i,
+                )
+                assert answer_tuples(result) == answer_tuples(expected), f"drained query {i}"
+            with pytest.raises(ServiceError) as excinfo:
+                await client.query(queries[0], PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=60)
+            assert excinfo.value.code == SHUTTING_DOWN
+            await service.stop()  # idempotent
+        finally:
+            catalog.close()
+
+    asyncio.run(scenario())
+
+
+class TestShardedPlannerCloseRegression:
+    """The close() lifecycle fixes: idempotent, concurrent, drain-on-close."""
+
+    def test_double_close_is_a_no_op(self):
+        database, catalog = build_catalog(seed=7007, num_shards=2, max_workers=2)
+        query = extract_query(database.graphs[0].skeleton, 3, rng=70)
+        try:
+            catalog.query(
+                query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD,
+                config=SEARCH_CONFIG, rng=71,
+            )
+            planner = catalog._planner()
+            planner.close()
+            planner.close()  # regression: second close must not raise
+            assert planner.shard_plane is None
+            # the planner keeps working after close (fresh pool + plane)
+            catalog.query(
+                query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD,
+                config=SEARCH_CONFIG, rng=72,
+            )
+        finally:
+            catalog.close()
+
+    def test_concurrent_close_races_are_safe(self):
+        database, catalog = build_catalog(seed=7008, num_shards=2, max_workers=2)
+        query = extract_query(database.graphs[1].skeleton, 3, rng=73)
+        try:
+            catalog.query(
+                query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD,
+                config=SEARCH_CONFIG, rng=74,
+            )
+            planner = catalog._planner()
+            errors = []
+
+            def closer():
+                try:
+                    planner.close()
+                except Exception as exc:  # pragma: no cover - the regression
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=closer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, f"racing close() raised: {errors}"
+        finally:
+            catalog.close()
+
+    def test_close_during_inflight_query_drains_not_tears(self):
+        """close() racing execute_many: the in-flight workload still returns
+        byte-identical answers (pool shutdown waits for submitted tasks)."""
+        database, catalog = build_catalog(seed=7009, num_shards=2, max_workers=2)
+        reference = GraphCatalog.build(
+            database.graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7009,
+        )
+        queries = [
+            extract_query(database.graphs[i % 6].skeleton, 3, rng=80 + i) for i in range(4)
+        ]
+        try:
+            planner = catalog._planner()
+            results: dict[str, object] = {}
+
+            def run_workload():
+                results["got"] = planner.execute_many(
+                    queries,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    SEARCH_CONFIG,
+                    rng=81,
+                )
+
+            worker = threading.Thread(target=run_workload)
+            worker.start()
+            planner.close()  # may land before, during, or after the fan-out
+            worker.join()
+            expected = reference.query_many(
+                queries,
+                PROBABILITY_THRESHOLD,
+                DISTANCE_THRESHOLD,
+                config=SEARCH_CONFIG,
+                rng=81,
+            )
+            for got, want in zip(results["got"], expected):
+                assert answer_tuples(got) == answer_tuples(want)
+        finally:
+            catalog.close()
+            reference.close()
+
+    def test_concurrent_submissions_with_close_never_deadlock(self):
+        """Submitting threads racing close(): everything completes with the
+        right answers and no segment leaks (checked by the autouse fixture)."""
+        database, catalog = build_catalog(seed=7010, num_shards=2, max_workers=2)
+        reference = GraphCatalog.build(
+            database.graphs,
+            feature_config=FEATURE_CONFIG,
+            bound_config=BOUND_CONFIG,
+            rng=7010,
+        )
+        query = extract_query(database.graphs[3].skeleton, 3, rng=90)
+        try:
+            planner = catalog._planner()
+            outcomes: list = [None] * 3
+
+            def submitter(slot: int):
+                outcomes[slot] = planner.execute(
+                    query,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    SEARCH_CONFIG,
+                    rng=91 + slot,
+                )
+
+            threads = [threading.Thread(target=submitter, args=(slot,)) for slot in range(3)]
+            for thread in threads:
+                thread.start()
+            planner.close()
+            for thread in threads:
+                thread.join(timeout=60)
+                assert not thread.is_alive(), "submission deadlocked against close()"
+            for slot in range(3):
+                expected = reference.query(
+                    query,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    config=SEARCH_CONFIG,
+                    rng=91 + slot,
+                )
+                assert answer_tuples(outcomes[slot]) == answer_tuples(expected)
+        finally:
+            catalog.close()
+            reference.close()

@@ -1,0 +1,357 @@
+"""Service-parity harness: the always-on query service must answer
+byte-identically to sequential library-mode calls.
+
+The contract: for any batch window, any max batch size, any interleaving
+of concurrent clients, any shard count K ∈ {1, 2, 4}, and any sequence of
+catalog mutations applied through the service, a seeded request's answers
+(probabilities, ranks, decided_by) and deterministic statistics counters
+equal those of ``catalog.query(...)`` / ``catalog.query_top_k(...)`` on a
+twin catalog mutated identically.  Micro-batching, the answer cache, and
+the wire round-trip must all be invisible in the bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core import GraphCatalog, QueryStatistics, SearchConfig, VerificationConfig
+from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
+from repro.pmi import BoundConfig, FeatureSelectionConfig
+from repro.service import QueryService, ServiceClient, ServiceConfig, TcpServiceClient
+
+PROBABILITY_THRESHOLD = 0.3
+DISTANCE_THRESHOLD = 1
+FEATURE_CONFIG = FeatureSelectionConfig(
+    alpha=0.1, beta=0.2, gamma=0.1, max_vertices=3, max_features=10
+)
+BOUND_CONFIG = BoundConfig(num_samples=40)
+SEARCH_CONFIG = SearchConfig(
+    verification=VerificationConfig(method="sampling", num_samples=80)
+)
+
+
+def random_database(seed: int, num_graphs: int):
+    config = PPIDatasetConfig(
+        num_graphs=num_graphs,
+        num_families=2,
+        vertices_per_graph=8,
+        edges_per_graph=9,
+        motif_vertices=3,
+        motif_edges=3,
+        mean_edge_probability=0.6,
+        probability_spread=0.2,
+    )
+    return generate_ppi_database(config, rng=seed)
+
+
+def build_twins(seed: int, num_graphs: int = 6, num_shards: int = 1):
+    """A service catalog and an identical library-mode reference catalog."""
+    database = random_database(seed, num_graphs)
+    kwargs = dict(feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=seed)
+    if num_shards > 1:
+        kwargs.update(num_shards=num_shards, max_workers=0)
+    served = GraphCatalog.build(database.graphs, **kwargs)
+    twin = GraphCatalog.build(database.graphs, **kwargs)
+    return database, served, twin
+
+
+def answer_tuples(result):
+    return [
+        (a.graph_id, a.graph_name, a.probability, a.decided_by)
+        for a in result.answers
+    ]
+
+
+def counter_dict(statistics: QueryStatistics) -> dict:
+    return {
+        key: value
+        for key, value in statistics.as_dict().items()
+        if not key.endswith("seconds")
+    }
+
+
+def assert_result_parity(actual, expected, context: str) -> None:
+    assert answer_tuples(actual) == answer_tuples(expected), context
+    assert counter_dict(actual.statistics) == counter_dict(expected.statistics), context
+
+
+def random_workload(database, seed: int, count: int):
+    """Seeded mixed requests: (kind, query, params, rng seed) tuples."""
+    decider = random.Random(seed)
+    requests = []
+    for index in range(count):
+        query = extract_query(
+            database.graphs[decider.randrange(len(database.graphs))].skeleton,
+            3,
+            rng=seed * 1000 + index,
+        )
+        rng_seed = seed * 77 + index
+        if decider.random() < 0.5:
+            requests.append(("query", query, PROBABILITY_THRESHOLD, rng_seed))
+        else:
+            requests.append(("query_top_k", query, decider.choice([1, 2, 4]), rng_seed))
+    return requests
+
+
+async def run_and_compare(client, twin, requests, context=""):
+    """Fire all requests concurrently through the service, compare each to a
+    sequential twin-catalog call with the same seed."""
+
+    async def one(kind, query, param, seed):
+        if kind == "query":
+            return await client.query(query, param, DISTANCE_THRESHOLD, rng=seed)
+        return await client.query_top_k(query, param, DISTANCE_THRESHOLD, rng=seed)
+
+    served = await asyncio.gather(*[one(*request) for request in requests])
+    for index, ((kind, query, param, seed), actual) in enumerate(zip(requests, served)):
+        if kind == "query":
+            expected = twin.query(
+                query, param, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=seed
+            )
+        else:
+            expected = twin.query_top_k(
+                query, param, DISTANCE_THRESHOLD, config=SEARCH_CONFIG, rng=seed
+            )
+        assert_result_parity(actual, expected, f"{context} request={index} kind={kind}")
+
+
+@pytest.mark.parametrize("batch_window", [0.0, 0.002, 0.02])
+def test_concurrent_mixed_workload_matches_sequential(batch_window):
+    """Any batch window: concurrent mixed traffic == sequential twin calls."""
+
+    async def scenario():
+        database, served, twin = build_twins(seed=9001)
+        config = ServiceConfig(
+            batch_window=batch_window, max_batch_size=8, search_config=SEARCH_CONFIG
+        )
+        try:
+            async with QueryService(served, config) as service:
+                client = ServiceClient(service)
+                await run_and_compare(
+                    client,
+                    twin,
+                    random_workload(database, seed=21, count=8),
+                    context=f"window={batch_window}",
+                )
+        finally:
+            served.close()
+            twin.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.parametrize("max_batch_size", [1, 3, 16])
+def test_batch_size_never_changes_answers(max_batch_size):
+    """Identical workload under different coalescing limits → identical bytes.
+
+    max_batch_size=1 is the no-batching reference; larger limits must not
+    shift a single probability even though requests share backend calls."""
+
+    async def scenario():
+        database, served, twin = build_twins(seed=9002)
+        config = ServiceConfig(
+            batch_window=0.005, max_batch_size=max_batch_size, search_config=SEARCH_CONFIG
+        )
+        try:
+            async with QueryService(served, config) as service:
+                client = ServiceClient(service)
+                await run_and_compare(
+                    client,
+                    twin,
+                    random_workload(database, seed=33, count=6),
+                    context=f"max_batch={max_batch_size}",
+                )
+        finally:
+            served.close()
+            twin.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_sharded_backend_parity(num_shards):
+    """The service over a K-sharded catalog answers like a sequential twin."""
+
+    async def scenario():
+        database, served, twin = build_twins(seed=9003, num_shards=num_shards)
+        sequential_twin = GraphCatalog.build(
+            database.graphs, feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=9003
+        )
+        config = ServiceConfig(batch_window=0.005, search_config=SEARCH_CONFIG)
+        try:
+            async with QueryService(served, config) as service:
+                client = ServiceClient(service)
+                requests = random_workload(database, seed=45, count=4)
+                await run_and_compare(
+                    client, sequential_twin, requests, context=f"shards={num_shards}"
+                )
+        finally:
+            served.close()
+            twin.close()
+            sequential_twin.close()
+
+    asyncio.run(scenario())
+
+
+def test_interleaved_mutations_stay_in_parity():
+    """Phases of concurrent traffic with service-routed mutations between.
+
+    The twin receives the same mutation sequence through the library API;
+    every post-mutation phase must still match byte-for-byte — the answer
+    cache must never serve a pre-mutation result (generation keying), and
+    queries must never jump the mutation barrier in the dispatch queue."""
+
+    async def scenario():
+        database, served, twin = build_twins(seed=9004)
+        pool = random_database(10004, num_graphs=4).graphs
+        config = ServiceConfig(batch_window=0.005, search_config=SEARCH_CONFIG)
+        try:
+            async with QueryService(served, config) as service:
+                client = ServiceClient(service)
+
+                await run_and_compare(
+                    client, twin, random_workload(database, seed=51, count=4), "phase=0"
+                )
+
+                added = await client.add_graph(pool[0])
+                twin.add_graph(pool[0])
+                assert added["external_id"] == 6
+
+                await run_and_compare(
+                    client, twin, random_workload(database, seed=52, count=4), "phase=1"
+                )
+
+                await client.update_graph(2, pool[1])
+                twin.update_graph(2, pool[1])
+                await client.remove_graph(0)
+                twin.remove_graph(0)
+
+                await run_and_compare(
+                    client, twin, random_workload(database, seed=53, count=4), "phase=2"
+                )
+
+                await client.compact()
+                twin.compact()
+
+                await run_and_compare(
+                    client, twin, random_workload(database, seed=54, count=4), "phase=3"
+                )
+        finally:
+            served.close()
+            twin.close()
+
+    asyncio.run(scenario())
+
+
+def test_queries_concurrent_with_mutations_match_some_serialization():
+    """Queries racing a mutation get the before- or after-answer, nothing else.
+
+    Unlike the phase-structured test above, queries here are *not* awaited
+    before the mutation is submitted, so the dispatcher is free to order
+    them on either side of the barrier — but every response must equal the
+    twin's answer in one of the two catalog states."""
+
+    async def scenario():
+        database, served, twin_before = build_twins(seed=9005)
+        pool = random_database(10005, num_graphs=2).graphs
+        twin_after = GraphCatalog.build(
+            database.graphs, feature_config=FEATURE_CONFIG, bound_config=BOUND_CONFIG, rng=9005
+        )
+        twin_after.add_graph(pool[0])
+        config = ServiceConfig(batch_window=0.002, search_config=SEARCH_CONFIG)
+        query = extract_query(database.graphs[0].skeleton, 3, rng=77)
+        try:
+            async with QueryService(served, config) as service:
+                client = ServiceClient(service)
+                mutator = ServiceClient(service)
+                jobs = [
+                    client.query(query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=seed)
+                    for seed in (501, 502, 503)
+                ]
+                jobs.append(mutator.add_graph(pool[0]))
+                responses = await asyncio.gather(*jobs)
+                for seed, actual in zip((501, 502, 503), responses[:3]):
+                    candidates = [
+                        twin.query(
+                            query,
+                            PROBABILITY_THRESHOLD,
+                            DISTANCE_THRESHOLD,
+                            config=SEARCH_CONFIG,
+                            rng=seed,
+                        )
+                        for twin in (twin_before, twin_after)
+                    ]
+                    assert answer_tuples(actual) in [
+                        answer_tuples(candidate) for candidate in candidates
+                    ], f"seed={seed} answers match neither catalog state"
+        finally:
+            served.close()
+            twin_before.close()
+            twin_after.close()
+
+    asyncio.run(scenario())
+
+
+def test_tcp_transport_byte_parity():
+    """The NDJSON TCP path carries the same bytes as the in-process path.
+
+    Concurrent coroutines pipeline over one connection; every decoded
+    result must match the sequential twin exactly — JSON float round-trip
+    (repr shortest form) makes this a true byte-parity check."""
+
+    async def scenario():
+        database, served, twin = build_twins(seed=9006)
+        config = ServiceConfig(batch_window=0.005, search_config=SEARCH_CONFIG)
+        try:
+            async with QueryService(served, config) as service:
+                host, port = await service.serve_tcp()
+                tcp = await TcpServiceClient().connect(host, port)
+                try:
+                    await run_and_compare(
+                        tcp, twin, random_workload(database, seed=61, count=6), "tcp"
+                    )
+                finally:
+                    await tcp.close()
+        finally:
+            served.close()
+            twin.close()
+
+    asyncio.run(scenario())
+
+
+def test_cached_answers_are_byte_identical():
+    """A cache hit returns the exact payload of the original computation."""
+
+    async def scenario():
+        database, served, twin = build_twins(seed=9007)
+        config = ServiceConfig(batch_window=0.0, search_config=SEARCH_CONFIG)
+        query = extract_query(database.graphs[1].skeleton, 3, rng=88)
+        try:
+            async with QueryService(served, config) as service:
+                client = ServiceClient(service)
+                first = await client.query(
+                    query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=42
+                )
+                assert client.last_response["cached"] is False
+                second = await client.query(
+                    query, PROBABILITY_THRESHOLD, DISTANCE_THRESHOLD, rng=42
+                )
+                assert client.last_response["cached"] is True
+                assert answer_tuples(first) == answer_tuples(second)
+                assert counter_dict(first.statistics) == counter_dict(second.statistics)
+                expected = twin.query(
+                    query,
+                    PROBABILITY_THRESHOLD,
+                    DISTANCE_THRESHOLD,
+                    config=SEARCH_CONFIG,
+                    rng=42,
+                )
+                assert_result_parity(second, expected, "cached answer")
+        finally:
+            served.close()
+            twin.close()
+
+    asyncio.run(scenario())
