@@ -38,6 +38,7 @@ from repro.core import GraphCatalog, QueryPlanner, SearchConfig, VerificationCon
 from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_query_workload
 from repro.pmi import BoundConfig, FeatureSelectionConfig, ProbabilisticMatrixIndex
 from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.atomic_io import atomic_write_text
 from repro.utils.timer import Timer
 
 try:
@@ -225,7 +226,7 @@ def append_trajectory_point(path: Path, point: dict) -> None:
         if not isinstance(history, list):
             history = [history]
     history.append(point)
-    path.write_text(json.dumps(history, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(history, indent=2) + "\n")
 
 
 def main() -> None:

@@ -42,7 +42,7 @@ def run_threshold_sweep(engine, workload) -> list[dict]:
             with structure_time:
                 structural = structural_filter.filter(record.query, DISTANCE_THRESHOLD)
             structure_candidates += structural.candidate_count
-            for name, entry in results.items():
+            for _name, entry in results.items():
                 pruner = ProbabilisticPruner(
                     engine.pmi.features, config=entry["config"], rng=BENCH_SEED
                 )

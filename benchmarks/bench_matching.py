@@ -47,6 +47,7 @@ from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_que
 from repro.isomorphism import match_block, using_engine
 from repro.pmi.features import FeatureMiner, FeatureSelectionConfig
 from repro.structural.feature_index import StructuralFeatureIndex
+from repro.utils.atomic_io import atomic_write_text
 from repro.utils.timer import Timer
 
 from benchmarks.conftest import BENCH_SEED, print_table
@@ -184,7 +185,7 @@ def append_trajectory_point(path: Path, point: dict) -> None:
         if not isinstance(history, list):
             history = [history]
     history.append(point)
-    path.write_text(json.dumps(history, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(history, indent=2) + "\n")
 
 
 def main() -> None:

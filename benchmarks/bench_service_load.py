@@ -51,6 +51,7 @@ from repro.core import GraphCatalog, SearchConfig, VerificationConfig
 from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
 from repro.pmi import BoundConfig, FeatureSelectionConfig
 from repro.service import QueryService, ServiceClient, ServiceConfig
+from repro.utils.atomic_io import atomic_write_text
 
 from benchmarks.conftest import print_table
 
@@ -360,7 +361,7 @@ def append_trajectory_point(path: Path, point: dict) -> None:
         if not isinstance(history, list):
             history = [history]
     history.append(point)
-    path.write_text(json.dumps(history, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(history, indent=2) + "\n")
 
 
 def main() -> None:

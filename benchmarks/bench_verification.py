@@ -43,6 +43,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from repro.core import VerificationConfig, Verifier
 from repro.core.relaxation import relax_query
 from repro.datasets import PPIDatasetConfig, generate_ppi_database, generate_query_workload
+from repro.utils.atomic_io import atomic_write_text
 from repro.utils.rng import VERIFY_STREAM, derive_rng
 from repro.utils.timer import Timer
 
@@ -169,7 +170,7 @@ def append_trajectory_point(path: Path, point: dict) -> None:
         if not isinstance(history, list):
             history = [history]
     history.append(point)
-    path.write_text(json.dumps(history, indent=2) + "\n")
+    atomic_write_text(path, json.dumps(history, indent=2) + "\n")
 
 
 def main() -> None:

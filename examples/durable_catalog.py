@@ -90,6 +90,7 @@ def main() -> None:
     #    what the WAL already guaranteed) and tear the log's final record,
     #    as a kill -9 mid-append would.
     wal_path = directory / wal_filename(catalog.generation)
+    # repro: allow[IO001] -- deliberately simulates the torn write a crash leaves
     with open(wal_path, "ab") as handle:
         handle.write(b'deadbeef {"op":"add","torn mid-')
     del catalog

@@ -48,7 +48,7 @@ def main(argv: list[str]) -> int:
         print(f"running README script block {index + 1}/{len(script_blocks)} ...")
         try:
             exec(compile(block, f"<README block {index + 1}>", "exec"), namespace)
-        except Exception as error:  # noqa: BLE001 - report which block broke
+        except Exception as error:  # deliberately broad: report which block broke
             print(f"error: README script block {index + 1} failed: {error!r}",
                   file=sys.stderr)
             return 1

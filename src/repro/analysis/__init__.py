@@ -1,0 +1,35 @@
+"""Contract linter: the determinism/durability/concurrency contracts as code.
+
+``python -m repro.analysis src benchmarks examples`` scans the tree with an
+AST rule pack (DET0xx determinism, IO0xx durability, SHM0xx shared-memory
+lifecycle, LOCK0xx lock discipline, EXC0xx exception taxonomy), honoring
+per-line ``# repro: allow[RULE] -- reason`` suppressions and a grandfather
+baseline.  See ARCHITECTURE.md "Contracts as lint rules" for the rule table
+and rationale.
+"""
+
+from .baseline import load_baseline, save_baseline
+from .config import DEFAULT_CONFIG, AnalysisConfig, LockContract
+from .engine import Report, SourceFile, run_analysis
+from .findings import Finding, sort_findings
+from .reporters import render_json, render_text
+from .rules import RULE_CLASSES, Rule, default_rules, rule_table
+
+__all__ = [
+    "AnalysisConfig",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LockContract",
+    "Report",
+    "Rule",
+    "RULE_CLASSES",
+    "SourceFile",
+    "default_rules",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule_table",
+    "run_analysis",
+    "save_baseline",
+    "sort_findings",
+]

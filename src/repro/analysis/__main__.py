@@ -1,0 +1,98 @@
+"""``python -m repro.analysis`` — the contract linter CLI.
+
+Exit codes: 0 clean, 1 findings (or, with ``--strict``, stale baseline
+entries / unused suppressions), 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import AnalysisError
+from repro.utils.atomic_io import atomic_write_text
+from .baseline import load_baseline, save_baseline
+from .engine import run_analysis
+from .reporters import render_json, render_text
+from .rules import rule_table
+
+DEFAULT_PATHS = ["src", "benchmarks", "examples"]
+DEFAULT_BASELINE = "contract_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static contract linter: enforces the repo's determinism (DET), "
+            "durability (IO), shared-memory (SHM), locking (LOCK), and "
+            "exception-taxonomy (EXC) invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_PATHS,
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON report to FILE (atomically); used by CI to "
+        "upload contract_report.json",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE,
+        help=f"baseline of grandfathered findings (default: {DEFAULT_BASELINE}; "
+        "a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to contain exactly the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries and unused suppression comments",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule pack and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, (title, invariant) in sorted(rule_table().items()):
+            print(f"{rule_id}  {title}")
+            print(f"       {invariant}")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+        report = run_analysis(args.paths, baseline_fingerprints=frozenset(baseline))
+        if args.write_baseline:
+            save_baseline(args.baseline, report.findings + report.baselined)
+            print(
+                f"baseline {args.baseline}: "
+                f"{len(report.findings) + len(report.baselined)} finding(s) recorded"
+            )
+            return 0
+        if args.out:
+            atomic_write_text(args.out, render_json(report))
+        output = render_json(report) if args.format == "json" else render_text(report)
+        sys.stdout.write(output)
+        return 0 if report.clean(strict=args.strict) else 1
+    except AnalysisError as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline entry is a finding fingerprint (content-addressed — see
+:mod:`repro.analysis.findings`) plus enough human-readable context to review
+it.  The contract: the shipped ``contract_baseline.json`` stays **empty for
+``src/``** — new core code fixes or inline-suppresses its findings — and the
+baseline mechanism exists so a future rule tightening can land first and
+burn down pre-existing findings incrementally, with ``--strict`` flagging
+entries that no longer match anything (fixed code must shed its baseline
+entry in the same change).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import AnalysisError
+from repro.utils.atomic_io import atomic_write_text
+from .findings import Finding, sort_findings
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """``fingerprint -> context`` from a baseline file; {} when absent."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return {}
+    try:
+        payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"unreadable baseline {baseline_path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {baseline_path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+        )
+    entries = payload.get("findings", {})
+    if not isinstance(entries, dict):
+        raise AnalysisError(f"baseline {baseline_path} 'findings' must be an object")
+    return entries
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (atomically, sorted)."""
+    entries = {
+        finding.fingerprint: {
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+            "snippet": finding.snippet,
+        }
+        for finding in sort_findings(findings)
+    }
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")

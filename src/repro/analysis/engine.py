@@ -1,0 +1,388 @@
+"""The analysis engine: file loading, AST preparation, rule execution.
+
+The engine owns everything rule-independent:
+
+* parsing each file once and annotating every node with its parent and its
+  enclosing symbol (``Class.method`` chains), so rules can ask structural
+  questions without re-walking the tree;
+* resolving imports to qualified names (``np.random.default_rng`` →
+  ``numpy.random.default_rng`` through any alias), so rules match *what a
+  call means*, not what it is spelled as;
+* a conservative local "set-ness" inference used by the unordered-iteration
+  rule;
+* per-line suppression comments ``# repro: allow[RULE1,RULE2] -- reason``
+  (on the flagged line, or on a comment-only line directly above it), with
+  unused suppressions surfaced so stale opt-outs cannot accumulate;
+* running every registered rule and splitting raw findings into active /
+  suppressed / baselined.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import AnalysisError
+from .config import DEFAULT_CONFIG, AnalysisConfig
+from .findings import Finding, sort_findings
+
+SUPPRESSION_PATTERN = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` comment and the line range it covers."""
+
+    path: str
+    comment_line: int  # where the comment itself sits
+    target_line: int  # the code line the suppression applies to
+    rules: frozenset[str]  # rule ids, or {"*"}
+    used: bool = False
+
+    def matches(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+def _scan_suppressions(path: str, text: str) -> list[Suppression]:
+    """Collect suppression comments via the tokenizer (never inside strings).
+
+    A suppression on a code line covers that line; a suppression on a
+    comment-only line covers the next line, so multi-line statements can be
+    annotated above their first line.
+    """
+    suppressions: list[Suppression] = []
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            continue
+        if token.type in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            continue
+        for lineno in range(token.start[0], token.end[0] + 1):
+            code_lines.add(lineno)
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = SUPPRESSION_PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if not rules:
+            continue
+        comment_line = token.start[0]
+        target_line = comment_line if comment_line in code_lines else comment_line + 1
+        suppressions.append(
+            Suppression(
+                path=path, comment_line=comment_line, target_line=target_line, rules=rules
+            )
+        )
+    return suppressions
+
+
+@dataclass
+class ImportResolver:
+    """Alias → qualified-name resolution for one module.
+
+    ``import numpy as np`` makes ``np.random.default_rng`` resolve to
+    ``numpy.random.default_rng``; ``from numpy.random import default_rng as
+    rng_maker`` makes ``rng_maker`` resolve to ``numpy.random.default_rng``.
+    Resolution is module-level only — good enough for the stdlib/numpy
+    surfaces the rules care about, and conservative (an unresolvable name
+    resolves to itself).
+    """
+
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def for_module(cls, tree: ast.Module) -> "ImportResolver":
+        resolver = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    bound = name.asname or name.name.split(".")[0]
+                    target = name.name if name.asname else name.name.split(".")[0]
+                    resolver.aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    bound = name.asname or name.name
+                    resolver.aliases[bound] = f"{node.module}.{name.name}"
+        return resolver
+
+    def qualified_name(self, node: ast.expr) -> str | None:
+        """The dotted qualified name of an expression, or None.
+
+        Walks ``Attribute`` chains down to a ``Name`` root and substitutes
+        the root's import alias, if any.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+_SET_PRODUCERS = {"set", "frozenset"}
+
+
+def _is_set_expression(node: ast.expr, set_names: set[str]) -> bool:
+    """Conservatively, does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _SET_PRODUCERS:
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra preserves set-ness; require at least one known-set side
+        return _is_set_expression(node.left, set_names) or _is_set_expression(
+            node.right, set_names
+        )
+    return False
+
+
+def _annotation_is_set(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SET_PRODUCERS
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.split("[")[0].strip() in _SET_PRODUCERS
+    return False
+
+
+def infer_set_names(scope: ast.AST) -> set[str]:
+    """Names bound to set values anywhere in ``scope`` (one function body).
+
+    Single-pass and flow-insensitive on purpose: a name counts as a set if
+    *any* binding in the scope gives it one.  That over-approximates, but a
+    rebinding from set to list inside one function is itself a readability
+    hazard, and the suppression comment is the escape hatch.
+    """
+    names: set[str] = set()
+    pending: list[ast.AST] = [scope]
+    nodes: list[ast.AST] = []
+    while pending:
+        node = pending.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not scope:
+            continue  # nested scopes run their own inference
+        nodes.append(node)
+        pending.extend(ast.iter_child_nodes(node))
+    changed = True
+    while changed:  # fixpoint: `b = a` after `a = set()` needs a second pass
+        changed = False
+        for node in nodes:
+            bound: list[str] = []
+            if isinstance(node, ast.Assign) and _is_set_expression(node.value, names):
+                bound = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _annotation_is_set(node.annotation) or (
+                    node.value is not None and _is_set_expression(node.value, names)
+                ):
+                    bound = [node.target.id]
+            elif isinstance(node, ast.arg) and _annotation_is_set(node.annotation):
+                bound = [node.arg]
+            for name in bound:
+                if name not in names:
+                    names.add(name)
+                    changed = True
+    return names
+
+
+@dataclass
+class SourceFile:
+    """One parsed file plus the node annotations every rule shares."""
+
+    path: str  # posix-style, as scanned
+    text: str
+    lines: list[str]
+    tree: ast.Module
+    resolver: ImportResolver
+    suppressions: list[Suppression]
+
+    @classmethod
+    def load(cls, path: Path, display_path: str) -> "SourceFile":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise AnalysisError(f"cannot read {display_path}: {exc}") from exc
+        try:
+            tree = ast.parse(text, filename=display_path)
+        except SyntaxError as exc:
+            raise AnalysisError(f"cannot parse {display_path}: {exc}") from exc
+        _annotate_parents_and_symbols(tree)
+        return cls(
+            path=display_path,
+            text=text,
+            lines=text.splitlines(),
+            tree=tree,
+            resolver=ImportResolver.for_module(tree),
+            suppressions=_scan_suppressions(display_path, text),
+        )
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def symbol_at(self, node: ast.AST) -> str:
+        return getattr(node, "_repro_symbol", "")
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return getattr(node, "_repro_parent", None)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            column=column,
+            message=message,
+            symbol=self.symbol_at(node),
+            snippet=self.snippet(line),
+        )
+
+
+def _annotate_parents_and_symbols(tree: ast.Module) -> None:
+    """Attach ``_repro_parent`` and ``_repro_symbol`` to every node."""
+
+    def visit(node: ast.AST, parent: ast.AST | None, symbol: str) -> None:
+        node._repro_parent = parent
+        node._repro_symbol = symbol
+        child_symbol = symbol
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            child_symbol = f"{symbol}.{node.name}" if symbol else node.name
+            node._repro_symbol = child_symbol
+        for child in ast.iter_child_nodes(node):
+            visit(child, node, child_symbol)
+
+    visit(tree, None, "")
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: list[Finding]  # active: not suppressed, not baselined
+    suppressed: list[Finding]
+    baselined: list[Finding]
+    unused_suppressions: list[Suppression]
+    stale_baseline: list[str]  # fingerprints in the baseline nothing matched
+    files_scanned: int
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def clean(self, strict: bool = False) -> bool:
+        if self.findings:
+            return False
+        if strict and (self.stale_baseline or self.unused_suppressions):
+            return False
+        return True
+
+
+def iter_python_files(paths: list[str]) -> list[tuple[Path, str]]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Sorted so scan (and therefore report) order never depends on filesystem
+    enumeration order — the engine obeys its own DET004.
+    """
+    collected: dict[str, Path] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" in candidate.parts:
+                    continue
+                collected[candidate.as_posix()] = candidate
+        elif path.is_file():
+            collected[path.as_posix()] = path
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    return [(collected[key], key) for key in sorted(collected)]
+
+
+def run_analysis(
+    paths: list[str],
+    config: AnalysisConfig = DEFAULT_CONFIG,
+    baseline_fingerprints: frozenset[str] = frozenset(),
+    rules: list | None = None,
+) -> Report:
+    """Scan ``paths`` with every registered rule and triage the findings."""
+    from .rules import default_rules
+
+    active_rules = default_rules(config) if rules is None else rules
+    raw: list[Finding] = []
+    all_suppressions: list[Suppression] = []
+    files = iter_python_files(paths)
+    for path, display in files:
+        source = SourceFile.load(path, display)
+        all_suppressions.extend(source.suppressions)
+        for rule in active_rules:
+            raw.extend(rule.check(source))
+
+    suppression_index: dict[tuple[str, int], list[Suppression]] = {}
+    for suppression in all_suppressions:
+        suppression_index.setdefault(
+            (suppression.path, suppression.target_line), []
+        ).append(suppression)
+
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    baselined: list[Finding] = []
+    matched_fingerprints: set[str] = set()
+    for finding in sort_findings(raw):
+        covering = [
+            s
+            for s in suppression_index.get((finding.path, finding.line), [])
+            if s.matches(finding.rule)
+        ]
+        if covering:
+            for suppression in covering:
+                suppression.used = True
+            suppressed.append(finding)
+        elif finding.fingerprint in baseline_fingerprints:
+            matched_fingerprints.add(finding.fingerprint)
+            baselined.append(finding)
+        else:
+            findings.append(finding)
+
+    return Report(
+        findings=findings,
+        suppressed=suppressed,
+        baselined=baselined,
+        unused_suppressions=[s for s in all_suppressions if not s.used],
+        stale_baseline=sorted(baseline_fingerprints - matched_fingerprints),
+        files_scanned=len(files),
+    )

@@ -1,0 +1,79 @@
+"""Finding objects and their stable fingerprints.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+``fingerprint`` deliberately hashes the *content* of the violation — rule id,
+file path, enclosing symbol, and the normalized source line — rather than the
+line number, so a baseline entry keeps matching when unrelated edits shift
+the file around it, and stops matching the moment the offending line itself
+changes (at which point the author must re-justify or fix it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix-style path as scanned (relative to the invocation cwd)
+    line: int  # 1-based
+    column: int  # 0-based, as reported by the ast module
+    message: str
+    symbol: str = ""  # dotted enclosing class/function chain, "" at module level
+    snippet: str = ""  # the stripped source line
+    fingerprint: str = field(default="", compare=False)
+
+    @staticmethod
+    def compute_fingerprint(rule: str, path: str, symbol: str, snippet: str) -> str:
+        payload = "\x1f".join((rule, path, symbol, " ".join(snippet.split())))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            object.__setattr__(
+                self,
+                "fingerprint",
+                self.compute_fingerprint(self.rule, self.path, self.symbol, self.snippet),
+            )
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column + 1}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "symbol": self.symbol,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            line=int(payload["line"]),
+            column=int(payload["column"]),
+            message=payload["message"],
+            symbol=payload.get("symbol", ""),
+            snippet=payload.get("snippet", ""),
+            fingerprint=payload.get("fingerprint", ""),
+        )
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Canonical report order: path, then line, then rule id.
+
+    The report is itself an artifact (CI uploads it), so its ordering must be
+    a pure function of the findings — never of scan or rule-registration
+    order.
+    """
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule))

@@ -1,0 +1,79 @@
+"""Text and JSON renderings of an analysis :class:`~repro.analysis.engine.Report`.
+
+The text form is for humans at a terminal (grouped by file, one location per
+line, with the rule's suppression syntax in the footer).  The JSON form is
+the CI artifact: stable key order, counts per rule, and the full finding
+list including suppressed/baselined entries so a report diff shows exactly
+which opt-outs a change added.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import Report
+from .rules import rule_table
+
+
+def render_text(report: Report, verbose: bool = False) -> str:
+    lines: list[str] = []
+    current_path = None
+    for finding in report.findings:
+        if finding.path != current_path:
+            if current_path is not None:
+                lines.append("")
+            lines.append(finding.path)
+            current_path = finding.path
+        symbol = f" [{finding.symbol}]" if finding.symbol else ""
+        lines.append(f"  {finding.location()} {finding.rule}{symbol} {finding.message}")
+        if finding.snippet:
+            lines.append(f"      {finding.snippet}")
+    if report.findings:
+        lines.append("")
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_scanned} file(s) "
+        f"({len(report.suppressed)} suppressed, {len(report.baselined)} baselined)"
+    )
+    lines.append(summary)
+    for rule_id, count in report.counts_by_rule().items():
+        lines.append(f"  {rule_id}: {count}")
+    if report.unused_suppressions:
+        lines.append("unused suppressions (stale opt-outs; strict mode fails on these):")
+        for suppression in report.unused_suppressions:
+            rules = ",".join(sorted(suppression.rules))
+            lines.append(f"  {suppression.path}:{suppression.comment_line} allow[{rules}]")
+    if report.stale_baseline:
+        lines.append(
+            f"{len(report.stale_baseline)} stale baseline fingerprint(s) "
+            "(fixed findings must leave the baseline; strict mode fails on these)"
+        )
+    if report.findings:
+        lines.append(
+            "fix the finding, or annotate the line with `# repro: allow[RULE] -- reason`"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: Report) -> str:
+    payload = {
+        "version": 1,
+        "tool": "repro.analysis",
+        "summary": {
+            "files_scanned": report.files_scanned,
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "unused_suppressions": len(report.unused_suppressions),
+            "stale_baseline": len(report.stale_baseline),
+            "by_rule": report.counts_by_rule(),
+        },
+        "rules": {
+            rule_id: {"title": title, "invariant": invariant}
+            for rule_id, (title, invariant) in sorted(rule_table().items())
+        },
+        "findings": [finding.as_dict() for finding in report.findings],
+        "suppressed": [finding.as_dict() for finding in report.suppressed],
+        "baselined": [finding.as_dict() for finding in report.baselined],
+        "stale_baseline_fingerprints": report.stale_baseline,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

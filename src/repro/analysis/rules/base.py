@@ -1,0 +1,71 @@
+"""Rule base class.
+
+A rule is a stateless object bound to an :class:`AnalysisConfig`; ``check``
+receives one prepared :class:`~repro.analysis.engine.SourceFile` and returns
+raw findings (the engine applies suppressions and the baseline afterwards).
+Every rule carries its id, a one-line title, and the invariant it enforces —
+the JSON report embeds all three so the artifact is self-describing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import AnalysisConfig
+from ..engine import SourceFile
+from ..findings import Finding
+
+
+class Rule:
+    rule_id: str = ""
+    title: str = ""
+    invariant: str = ""
+
+    def __init__(self, config: AnalysisConfig) -> None:
+        self.config = config
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def walk_calls(source: SourceFile) -> Iterator[ast.Call]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield node
+
+    @staticmethod
+    def call_is_argument_of(source: SourceFile, node: ast.AST, names: set[str]) -> bool:
+        """True when ``node`` is directly an argument of a call to ``names``.
+
+        Used to recognize order-erasing wrappers: iterating ``sorted(x)`` or
+        reducing with ``sum(...)``/``min(...)`` makes the unordered source
+        harmless.
+        """
+        parent = source.parent(node)
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+            return parent.func.id in names
+        return False
+
+    @staticmethod
+    def enclosed_by_call(source: SourceFile, node: ast.AST, names: set[str]) -> bool:
+        """True when any expression ancestor of ``node`` is a call to ``names``.
+
+        Unlike :meth:`call_is_argument_of` this sees through intermediate
+        expression nesting — ``sorted(p.name for p in d.glob(...))`` encloses
+        the ``glob`` call two levels down.  The walk stops at the first
+        statement ancestor.
+        """
+        current = source.parent(node)
+        while current is not None and not isinstance(current, ast.stmt):
+            if (
+                isinstance(current, ast.Call)
+                and isinstance(current.func, ast.Name)
+                and current.func.id in names
+            ):
+                return True
+            current = source.parent(current)
+        return False

@@ -1,0 +1,137 @@
+"""IO0xx — durability rules.
+
+Crash-safety rests on one discipline (LogBase-style): every persisted
+artifact is written tmp + flush + fsync + ``os.replace`` + dir-fsync, and
+the only module that composes those primitives is ``utils/atomic_io.py``.
+A raw ``open(path, "w")`` anywhere else can leave a torn file a recovery
+path will later trust.  The write-ahead log's append-mode handle is the one
+deliberate exception, carried as an inline suppression where it lives so
+the justification sits next to the code.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import SourceFile
+from ..findings import Finding
+from .base import Rule
+
+_OPEN_FUNCTIONS = {"open", "io.open", "os.fdopen"}
+_WRITE_MODE_CHARS = set("wax+")
+_PATH_WRITERS = {"write_text", "write_bytes"}
+_COMMIT_PRIMITIVES = {
+    "os.replace": "rename-over-live-path",
+    "os.rename": "rename-over-live-path",
+    "os.fsync": "fsync",
+    "os.link": "hard-link commit",
+}
+
+
+def _mode_argument(call: ast.Call) -> ast.expr | None:
+    if len(call.args) >= 2:
+        return call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    return None
+
+
+def _is_write_mode(mode: ast.expr | None) -> bool | None:
+    """True/False for a literal mode; None when the mode is dynamic."""
+    if mode is None:
+        return False  # bare open(path) reads
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return bool(_WRITE_MODE_CHARS & set(mode.value))
+    return None
+
+
+class RawWriteOpenRule(Rule):
+    rule_id = "IO001"
+    title = "raw write-mode open() outside utils/atomic_io.py"
+    invariant = (
+        "Persisted artifacts are written only through utils/atomic_io.py "
+        "(tmp + fsync + os.replace + dir-fsync); write/append-mode open() "
+        "elsewhere can tear files across a crash."
+    )
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        if self.config.is_atomic_io_owner(source.path):
+            return []
+        findings: list[Finding] = []
+        for call in self.walk_calls(source):
+            name = source.resolver.qualified_name(call.func)
+            if name not in _OPEN_FUNCTIONS:
+                continue
+            write_mode = _is_write_mode(_mode_argument(call))
+            if write_mode is False:
+                continue
+            detail = (
+                "opens a file in a write/append mode"
+                if write_mode
+                else "opens a file with a dynamic mode (cannot prove read-only)"
+            )
+            findings.append(
+                source.finding(
+                    self.rule_id,
+                    call,
+                    f"{name}() {detail}; route the write through "
+                    "repro.utils.atomic_io so a crash cannot tear it",
+                )
+            )
+        return findings
+
+
+class RawPathWriteRule(Rule):
+    rule_id = "IO002"
+    title = "Path.write_text/write_bytes outside utils/atomic_io.py"
+    invariant = (
+        "Path.write_text()/write_bytes() truncate in place — a crash "
+        "mid-write leaves a torn file; use atomic_write_text/atomic_write_bytes."
+    )
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        if self.config.is_atomic_io_owner(source.path):
+            return []
+        findings: list[Finding] = []
+        for call in self.walk_calls(source):
+            if isinstance(call.func, ast.Attribute) and call.func.attr in _PATH_WRITERS:
+                findings.append(
+                    source.finding(
+                        self.rule_id,
+                        call,
+                        f".{call.func.attr}() truncates the target in place; use "
+                        f"repro.utils.atomic_io.atomic_{call.func.attr} instead",
+                    )
+                )
+        return findings
+
+
+class CommitPrimitiveRule(Rule):
+    rule_id = "IO003"
+    title = "raw commit primitive outside utils/atomic_io.py"
+    invariant = (
+        "os.replace/os.rename/os.fsync are the atomic-commit building "
+        "blocks; composing them ad hoc skips the fsync-before-rename and "
+        "dir-fsync-after steps, so only utils/atomic_io.py may call them."
+    )
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        if self.config.is_atomic_io_owner(source.path):
+            return []
+        findings: list[Finding] = []
+        for call in self.walk_calls(source):
+            name = source.resolver.qualified_name(call.func)
+            kind = _COMMIT_PRIMITIVES.get(name or "")
+            if kind is None:
+                continue
+            findings.append(
+                source.finding(
+                    self.rule_id,
+                    call,
+                    f"{name}() is a raw {kind} primitive; use the "
+                    "repro.utils.atomic_io helpers so the full "
+                    "fsync/replace/dir-fsync sequence runs",
+                )
+            )
+        return findings

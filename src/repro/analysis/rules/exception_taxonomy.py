@@ -1,0 +1,63 @@
+"""EXC0xx — exception-taxonomy rules.
+
+Callers of the library catch :class:`repro.exceptions.ReproError` (or a
+subsystem subclass) to distinguish "the library rejected this input/state"
+from genuine bugs.  A bare ``raise ValueError`` in a core module silently
+escapes that contract.  ``TypeError`` for argument-type misuse and
+``NotImplementedError`` for abstract methods stay allowed — both are
+idiomatic Python signaling a *programming* error at the call site, not a
+library condition callers should handle.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import SourceFile
+from ..findings import Finding
+from .base import Rule
+
+_FORBIDDEN = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "ArithmeticError",
+    "OSError",
+    "IOError",
+}
+
+
+class BuiltinRaiseRule(Rule):
+    rule_id = "EXC001"
+    title = "builtin exception raised in a taxonomy-scoped module"
+    invariant = (
+        "Core modules raise repro.exceptions types (ReproError subclasses — "
+        "ConfigurationError/StateError double as ValueError/RuntimeError for "
+        "compatibility), never bare Exception/ValueError/RuntimeError, so "
+        "callers can reliably catch ReproError."
+    )
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        if not self.config.in_taxonomy_scope(source.path):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Name) and target.id in _FORBIDDEN:
+                findings.append(
+                    source.finding(
+                        self.rule_id,
+                        node,
+                        f"raise {target.id}: core modules raise the "
+                        "repro.exceptions taxonomy (e.g. ConfigurationError "
+                        "for bad arguments, StateError for lifecycle misuse)",
+                    )
+                )
+        return findings

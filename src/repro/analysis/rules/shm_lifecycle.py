@@ -1,0 +1,60 @@
+"""SHM0xx — shared-memory lifecycle rules.
+
+``utils/shm.py`` owns every ``multiprocessing.shared_memory`` segment: its
+pid-guarded registry is what guarantees segments are unlinked exactly once
+(by their creator), survive resource-tracker interference, and never outlive
+the re-attach barrier of the hot-swap protocol.  A direct ``SharedMemory``
+anywhere else reintroduces the leak/double-unlink classes that registry
+exists to kill.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import SourceFile
+from ..findings import Finding
+from .base import Rule
+
+_SHM_MODULE = "multiprocessing.shared_memory"
+
+
+class DirectSharedMemoryRule(Rule):
+    rule_id = "SHM001"
+    title = "direct multiprocessing.shared_memory use outside utils/shm.py"
+    invariant = (
+        "Only utils/shm.py touches multiprocessing.shared_memory; everyone "
+        "else creates/attaches/releases segments through its pid-guarded "
+        "registry (create_segment/attach_segment/release_segment)."
+    )
+
+    def check(self, source: SourceFile) -> list[Finding]:
+        if self.config.is_shm_owner(source.path):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name.startswith(_SHM_MODULE):
+                        findings.append(self._finding(source, node, name.name))
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith(_SHM_MODULE):
+                    findings.append(self._finding(source, node, node.module))
+                elif node.module == "multiprocessing":
+                    for name in node.names:
+                        if name.name == "shared_memory":
+                            findings.append(self._finding(source, node, _SHM_MODULE))
+            elif isinstance(node, ast.Attribute):
+                qualified = source.resolver.qualified_name(node)
+                if qualified and qualified.startswith(_SHM_MODULE + "."):
+                    findings.append(self._finding(source, node, qualified))
+        return findings
+
+    def _finding(self, source: SourceFile, node: ast.AST, what: str) -> Finding:
+        return source.finding(
+            self.rule_id,
+            node,
+            f"{what} used directly; go through repro.utils.shm's segment "
+            "registry so lifecycle (create/attach/unlink/atexit sweep) stays "
+            "single-owner",
+        )

@@ -105,7 +105,7 @@ from repro.core.sharding import (
     route_to_smallest,
 )
 from repro.core.wal import WriteAheadLog, wal_filename
-from repro.exceptions import CatalogError, WalError
+from repro.exceptions import CatalogError, ConfigurationError, WalError
 from repro.graphs.io import (
     load_database,
     probabilistic_graph_from_dict,
@@ -397,7 +397,7 @@ class GraphCatalog:
         if not graphs:
             raise CatalogError("the catalog needs at least one probabilistic graph")
         if num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards!r}")
         feature_cfg = feature_config or FeatureSelectionConfig()
         bound_cfg = bound_config or BoundConfig()
         root = rng_root(rng)
@@ -442,7 +442,7 @@ class GraphCatalog:
         appends must derive their streams from the same root.
         """
         if num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards!r}")
         if pmi.database_size != len(graphs):
             raise CatalogError(
                 f"base PMI covers {pmi.database_size} graphs, got {len(graphs)}"
@@ -773,7 +773,7 @@ class GraphCatalog:
         discard_stale_tmp_files(directory)
         keep_dir = _generation_dirname(keep_generation)
         keep_wal = wal_filename(keep_generation)
-        for path in directory.iterdir():
+        for path in sorted(directory.iterdir()):
             name = path.name
             if path.is_dir() and name.startswith("gen_") and name != keep_dir:
                 shutil.rmtree(path, ignore_errors=True)

@@ -61,6 +61,7 @@ from repro.core.results import (
 )
 from repro.utils.rng import PRUNE_STREAM, VERIFY_STREAM, derive_rng
 from repro.utils.timer import Timer
+from repro.exceptions import ConfigurationError, StateError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.planner import QueryPlan, QueryPlanner
@@ -182,7 +183,7 @@ class ThresholdState:
         answers.
         """
         if self.k is None:
-            raise ValueError("offer() is only meaningful in top-k mode")
+            raise StateError("offer() is only meaningful in top-k mode")
         if answer.probability <= 0.0:
             return False
         entry = (answer.probability, -answer.graph_id, answer)
@@ -523,7 +524,7 @@ class QueryPipeline:
 
     def __init__(self, stages: list[PipelineStage]) -> None:
         if not stages:
-            raise ValueError("a query pipeline needs at least one stage")
+            raise ConfigurationError("a query pipeline needs at least one stage")
         self.stages = list(stages)
 
     def run(self, candidates: CandidateSet, ctx: PipelineContext) -> QueryResult:
@@ -600,7 +601,7 @@ def replay_top_k(
         try:
             probability = estimates[graph_id]
         except KeyError:  # pragma: no cover - violates the shipped-superset invariant
-            raise ValueError(
+            raise ConfigurationError(
                 f"top-k merge is missing the verified estimate of graph {graph_id}; "
                 "shard partials must cover every candidate at or above their "
                 "local seed floor"
@@ -628,7 +629,7 @@ def merge_top_k_partials(parts: list[TopKPartial], k: int) -> QueryResult:
     sequential planner's).
     """
     if not parts:
-        raise ValueError("cannot merge an empty list of top-k partials")
+        raise ConfigurationError("cannot merge an empty list of top-k partials")
     candidate_ids = np.concatenate([part.candidate_ids for part in parts])
     usim = np.concatenate([part.usim for part in parts])
     lsim = np.concatenate([part.lsim for part in parts])

@@ -43,7 +43,7 @@ from repro.core.pruning import FeatureContainment, ProbabilisticPruner
 from repro.core.relaxation import relax_query
 from repro.core.results import QueryResult, QueryStatistics
 from repro.core.verification import Verifier
-from repro.exceptions import QueryError
+from repro.exceptions import ConfigurationError, QueryError
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.index import ProbabilisticMatrixIndex
@@ -193,14 +193,14 @@ class QueryPlanner:
         else:
             self.global_ids = np.asarray(graph_ids, dtype=np.int64)
             if self.global_ids.shape != (len(graphs),):
-                raise ValueError(
+                raise ConfigurationError(
                     f"graph_ids has {self.global_ids.size} entries for "
                     f"{len(graphs)} graphs"
                 )
         if active_mask is not None:
             active_mask = np.asarray(active_mask, dtype=bool)
             if active_mask.shape != (len(graphs),):
-                raise ValueError(
+                raise ConfigurationError(
                     f"active_mask has {active_mask.size} entries for "
                     f"{len(graphs)} graphs"
                 )

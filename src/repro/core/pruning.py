@@ -315,7 +315,7 @@ class ProbabilisticPruner:
             return max(0.0, min(1.0, result.lower_bound)), True
         # plain SSPBound: one arbitrary covering feature per relaxed query
         chosen: list[QPSet] = []
-        for index in universe:
+        for index in sorted(universe):
             matching = [c for c in candidates if index in c.members]
             if not matching:
                 return 0.0, False

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -142,7 +143,7 @@ class QueryStatistics:
                 stage_names = names
                 merged.stages = [StageStatistics(stage=name) for name in names]
             elif names != stage_names:
-                raise ValueError(
+                raise ConfigurationError(
                     "cannot merge statistics from different pipelines: "
                     f"stage lists {stage_names!r} and {names!r} disagree"
                 )

@@ -48,7 +48,7 @@ from repro.core.pruning import PruningConfig
 from repro.core.relaxation import RelaxationConfig
 from repro.core.results import QueryResult
 from repro.core.verification import VerificationConfig
-from repro.exceptions import IndexError_
+from repro.exceptions import ConfigurationError, IndexError_
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.bounds import BoundConfig
@@ -77,7 +77,7 @@ class ProbabilisticGraphDatabase:
 
     def __init__(self, graphs: list[ProbabilisticGraph]) -> None:
         if not graphs:
-            raise ValueError("the database needs at least one probabilistic graph")
+            raise ConfigurationError("the database needs at least one probabilistic graph")
         self.graphs = list(graphs)
         self.pmi: ProbabilisticMatrixIndex | None = None
         self.structural_index: StructuralFeatureIndex | None = None
@@ -116,7 +116,7 @@ class ProbabilisticGraphDatabase:
         persisted sequential index use ``database.pmi.save()``).
         """
         if num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards!r}")
         if pmi is not None and (feature_config is not None or bound_config is not None):
             raise IndexError_(
                 "feature_config/bound_config conflict with a prebuilt pmi; "

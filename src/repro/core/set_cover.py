@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
+from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -79,7 +80,7 @@ def exhaustive_weighted_set_cover(
     to validate the greedy approximation, not to replace it.
     """
     if len(candidate_sets) > max_sets:
-        raise ValueError(
+        raise ConfigurationError(
             f"exhaustive set cover limited to {max_sets} candidate sets, "
             f"got {len(candidate_sets)}"
         )

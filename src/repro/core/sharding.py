@@ -72,7 +72,7 @@ import numpy as np
 from repro.core.pipeline import TopKPartial, merge_top_k_partials
 from repro.core.planner import QueryPlanner, _resolve_rngs
 from repro.core.results import QueryResult, QueryStatistics
-from repro.exceptions import IndexError_
+from repro.exceptions import ConfigurationError, IndexError_
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.pmi.features import Feature, FeatureMiner, FeatureSelectionConfig
@@ -117,9 +117,9 @@ def partition_ranges(num_graphs: int, num_shards: int) -> list[ShardSpec]:
     so no shard is ever empty.
     """
     if num_graphs <= 0:
-        raise ValueError("cannot partition an empty database")
+        raise ConfigurationError("cannot partition an empty database")
     if num_shards < 1:
-        raise ValueError(f"num_shards must be >= 1, got {num_shards!r}")
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards!r}")
     num_shards = min(num_shards, num_graphs)
     base, extra = divmod(num_graphs, num_shards)
     specs: list[ShardSpec] = []
@@ -182,7 +182,7 @@ def route_to_smallest(live_counts: list[int]) -> int:
     keeps shards balanced without moving existing rows (rebalancing proper
     happens on ``compact()`` via :func:`partition_ranges`)."""
     if not live_counts:
-        raise ValueError("cannot route into an empty shard list")
+        raise ConfigurationError("cannot route into an empty shard list")
     return int(np.argmin(np.asarray(live_counts, dtype=np.int64)))
 
 
@@ -648,10 +648,10 @@ class ShardedPlanner:
         use_shared_memory: bool = True,
     ) -> None:
         if not shards:
-            raise ValueError("a sharded planner needs at least one shard")
+            raise ConfigurationError("a sharded planner needs at least one shard")
         catalog_mode = any(shard.graph_ids is not None for shard in shards)
         if catalog_mode and not all(shard.graph_ids is not None for shard in shards):
-            raise ValueError(
+            raise ConfigurationError(
                 "cannot mix catalog shards (explicit graph_ids) with "
                 "contiguous-slice shards"
             )
@@ -661,13 +661,13 @@ class ShardedPlanner:
             ordered = sorted(shards, key=lambda shard: shard.spec.shard_id)
             all_ids = np.concatenate([shard.live_global_ids() for shard in ordered])
             if len(np.unique(all_ids)) != len(all_ids):
-                raise ValueError("catalog shards must cover disjoint live graph ids")
+                raise ConfigurationError("catalog shards must cover disjoint live graph ids")
         else:
             ordered = sorted(shards, key=lambda shard: shard.spec.start)
             expected_start = 0
             for shard in ordered:
                 if shard.spec.start != expected_start:
-                    raise ValueError(
+                    raise ConfigurationError(
                         "shards must tile the graph-id space contiguously; "
                         f"expected a shard starting at {expected_start}, "
                         f"got {shard.spec!r}"
@@ -677,7 +677,7 @@ class ShardedPlanner:
         for shard in ordered:
             # planner caches and pool tasks are keyed by shard_id
             if shard.spec.shard_id in seen_ids:
-                raise ValueError(f"duplicate shard id {shard.spec.shard_id!r}")
+                raise ConfigurationError(f"duplicate shard id {shard.spec.shard_id!r}")
             seen_ids.add(shard.spec.shard_id)
         self.shards = ordered
         self.max_workers = max_workers
@@ -726,7 +726,7 @@ class ShardedPlanner:
         cache can never hit.
         """
         if not graphs:
-            raise ValueError("the database needs at least one probabilistic graph")
+            raise ConfigurationError("the database needs at least one probabilistic graph")
         specs = partition_ranges(len(graphs), num_shards)
         if pmi is not None:
             if feature_config is not None or bound_config is not None:
@@ -998,7 +998,8 @@ class ShardedPlanner:
     def shard_plane(self) -> ShardPlane | None:
         """The currently published generation, or None before the first pool
         (and after :meth:`close`)."""
-        return self._plane
+        with self._lock:
+            return self._plane
 
     def initializer_payload(self):
         """Exactly what the pool initializer ships to every worker.
@@ -1062,5 +1063,5 @@ def _resolve_workers(max_workers: int | None, num_tasks: int) -> int:
     if max_workers is None:
         return min(num_tasks, os.cpu_count() or 1)
     if max_workers < 0:
-        raise ValueError(f"max_workers must be >= 0, got {max_workers!r}")
+        raise ConfigurationError(f"max_workers must be >= 0, got {max_workers!r}")
     return min(max_workers, num_tasks)

@@ -68,7 +68,9 @@ def extract_query(
     frontier_vertices: set = set(start_edge)
     while len(chosen) < num_edges:
         candidates = []
-        for vertex in frontier_vertices:
+        # sorted: candidate multiset is order-insensitive, but DET003 asks
+        # that set iteration never feed an ordered accumulator unsorted
+        for vertex in sorted(frontier_vertices, key=repr):
             for neighbor in skeleton.neighbors(vertex):
                 key = edge_key(vertex, neighbor)
                 if key not in chosen:

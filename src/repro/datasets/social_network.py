@@ -37,7 +37,7 @@ def generate_social_network(
     skeleton = LabeledGraph(name=name)
     members: list[list[int]] = []
     vertex = 0
-    for community in range(num_communities):
+    for _community in range(num_communities):
         group = []
         for position in range(community_size):
             role = ROLE_LABELS[0] if position == 0 else generator.choice(ROLE_LABELS[1:])

@@ -12,6 +12,28 @@ class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """Raised when an argument or configuration value is invalid.
+
+    Also a :class:`ValueError`: callers (and long-standing tests) that catch
+    ``ValueError`` for bad-argument conditions keep working, while
+    ``except ReproError`` now covers these sites too.  This is the type the
+    EXC001 contract-lint rule points bare ``raise ValueError`` sites at.
+    """
+
+
+class StateError(ReproError, RuntimeError):
+    """Raised when an API is used in the wrong lifecycle state (a timer
+    stopped before it was started, a handle used after close).  Also a
+    :class:`RuntimeError` for compatibility with callers catching that."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the contract linter (:mod:`repro.analysis`) for unreadable
+    sources, malformed baselines, or invalid scan paths — never for rule
+    findings, which are data, not errors."""
+
+
 class GraphError(ReproError):
     """Raised for structurally invalid graph operations.
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from itertools import permutations
 
 from repro.graphs.labeled_graph import LabeledGraph
+from repro.exceptions import ConfigurationError
 
 MAX_EXACT_VERTICES = 8
 
@@ -99,5 +100,5 @@ def are_isomorphic_small(g1: LabeledGraph, g2: LabeledGraph) -> bool:
     if g1.num_vertices != g2.num_vertices or g1.num_edges != g2.num_edges:
         return False
     if g1.num_vertices > MAX_EXACT_VERTICES or g2.num_vertices > MAX_EXACT_VERTICES:
-        raise ValueError("are_isomorphic_small only supports small graphs; use VF2 instead")
+        raise ConfigurationError("are_isomorphic_small only supports small graphs; use VF2 instead")
     return canonical_form(g1) == canonical_form(g2)

@@ -12,6 +12,7 @@ from collections.abc import Sequence
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
 from repro.utils.rng import RandomLike, ensure_rng
+from repro.exceptions import ConfigurationError
 
 DEFAULT_VERTEX_LABELS: tuple[str, ...] = ("A", "B", "C", "D", "E")
 DEFAULT_EDGE_LABELS: tuple[str, ...] = ("x", "y")
@@ -56,7 +57,7 @@ def random_connected_labeled_graph(
     ``[num_vertices - 1, num_vertices * (num_vertices - 1) / 2]``.
     """
     if num_vertices < 1:
-        raise ValueError("num_vertices must be >= 1")
+        raise ConfigurationError("num_vertices must be >= 1")
     generator = ensure_rng(rng)
     graph = LabeledGraph(name=name)
     for vertex in range(num_vertices):

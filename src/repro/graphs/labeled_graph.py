@@ -290,11 +290,18 @@ class LabeledGraph:
         return len(seen) == self.num_vertices
 
     def connected_components(self) -> list[set]:
-        """Vertex sets of the connected components."""
+        """Vertex sets of the connected components.
+
+        Components are returned in vertex-insertion order (each anchored at
+        its first-inserted vertex), never in set-iteration order: with str
+        vertex ids the latter varies with ``PYTHONHASHSEED``, so two worker
+        processes could disagree on component order.
+        """
         remaining = set(self._vertex_labels)
         components: list[set] = []
-        while remaining:
-            start = next(iter(remaining))
+        for start in self._vertex_labels:  # dicts iterate in insertion order
+            if start not in remaining:
+                continue
             seen = {start}
             queue = deque([start])
             while queue:

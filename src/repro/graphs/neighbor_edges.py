@@ -18,6 +18,7 @@ Two entry points are provided:
 from __future__ import annotations
 
 from repro.graphs.labeled_graph import LabeledGraph, VertexId, edge_key
+from repro.exceptions import ConfigurationError
 
 EdgeKey = tuple[VertexId, VertexId]
 
@@ -102,7 +103,7 @@ def partition_into_neighbor_sets(
         keeps joint probability tables small (``2**max_size`` rows).
     """
     if max_size < 1:
-        raise ValueError("max_size must be >= 1")
+        raise ConfigurationError("max_size must be >= 1")
     assigned: set[EdgeKey] = set()
     partition: list[frozenset] = []
     ordered_vertices = sorted(graph.vertices(), key=lambda v: (-graph.degree(v), repr(v)))

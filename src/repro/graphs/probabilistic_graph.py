@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
-from repro.exceptions import GraphError, ProbabilityError
+from repro.exceptions import ConfigurationError, GraphError, ProbabilityError
 from repro.graphs.labeled_graph import LabeledGraph, VertexId, edge_key
 from repro.graphs.neighbor_edges import partition_into_neighbor_sets
 from repro.probability.jpt import JointProbabilityTable
@@ -112,7 +112,7 @@ class ProbabilisticGraph:
             elif correlation == "max":
                 jpt = JointProbabilityTable.from_max_dominance(marginals)
             else:
-                raise ValueError(f"unknown correlation model {correlation!r}")
+                raise ConfigurationError(f"unknown correlation model {correlation!r}")
             factors.append(NeighborEdgeFactor(ordered, jpt))
         return cls(skeleton, factors, name=name)
 

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.graphs.labeled_graph import LabeledGraph, VertexId, edge_key
 from repro.isomorphism.vf2 import VF2Matcher, connectivity_order
+from repro.exceptions import ConfigurationError
 
 __all__ = [
     "EdgeTable",
@@ -80,7 +81,7 @@ class GenericJoinOverflow(RuntimeError):
 # ----------------------------------------------------------------------
 def _validate_engine(name: str) -> str:
     if name not in _ENGINES:
-        raise ValueError(f"unknown matching engine {name!r}; expected one of {_ENGINES}")
+        raise ConfigurationError(f"unknown matching engine {name!r}; expected one of {_ENGINES}")
     return name
 
 

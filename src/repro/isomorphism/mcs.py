@@ -19,6 +19,7 @@ from itertools import combinations
 
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.isomorphism.vf2 import is_subgraph_isomorphic
+from repro.exceptions import ConfigurationError
 
 DEFAULT_MAX_COMBINATIONS = 200_000
 
@@ -94,7 +95,7 @@ def is_subgraph_similar(
 ) -> bool:
     """``query ⊆sim target``: subgraph distance at most ``distance_threshold``."""
     if distance_threshold < 0:
-        raise ValueError("distance_threshold must be >= 0")
+        raise ConfigurationError("distance_threshold must be >= 0")
     if distance_threshold >= query.num_edges:
         return True
     distance = subgraph_distance(query, target, max_distance=distance_threshold)

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.exceptions import VerificationError
+from repro.exceptions import ConfigurationError, VerificationError
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.graphs.possible_worlds import enumerate_possible_worlds
 from repro.graphs.probabilistic_graph import ProbabilisticGraph
@@ -191,7 +191,7 @@ def _weighted_worlds(
         sampler = WorldSampler(graph, rng=rng)
         num_samples = cfg.resolved_sample_count()
         return [(sampler.sample_present_edges(), 1.0) for _ in range(num_samples)]
-    raise ValueError(f"unknown bound method {cfg.method!r}")
+    raise ConfigurationError(f"unknown bound method {cfg.method!r}")
 
 
 def _conditional_probabilities(

@@ -22,6 +22,7 @@ from itertools import combinations
 from repro.graphs.labeled_graph import LabeledGraph
 from repro.isomorphism.embeddings import Embedding
 from repro.pmi.max_clique import maximum_weight_clique
+from repro.exceptions import ConfigurationError
 
 EdgeKey = tuple
 Cut = frozenset
@@ -104,7 +105,7 @@ def build_cut_graph(
     upper bound ``UpperB(f) = e^{-v}`` (Equation 20).
     """
     if len(cuts) != len(probabilities):
-        raise ValueError("cuts and probabilities must be index-aligned")
+        raise ConfigurationError("cuts and probabilities must be index-aligned")
     adjacency: dict[int, set] = {i: set() for i in range(len(cuts))}
     for i in range(len(cuts)):
         for j in range(i + 1, len(cuts)):

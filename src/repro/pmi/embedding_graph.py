@@ -18,6 +18,7 @@ from collections.abc import Mapping, Sequence
 
 from repro.isomorphism.embeddings import Embedding
 from repro.pmi.max_clique import maximum_weight_clique
+from repro.exceptions import ConfigurationError
 
 # Probabilities are clamped away from 1.0 so that -ln(1 - p) stays finite;
 # an embedding that is "certain" still contributes a very large finite weight.
@@ -51,7 +52,7 @@ def build_embedding_graph(
         embeddings; weights are ``-ln(1 - p_i)``.
     """
     if len(embeddings) != len(probabilities):
-        raise ValueError("embeddings and probabilities must be index-aligned")
+        raise ConfigurationError("embeddings and probabilities must be index-aligned")
     adjacency: dict[int, set] = {i: set() for i in range(len(embeddings))}
     for i in range(len(embeddings)):
         for j in range(i + 1, len(embeddings)):

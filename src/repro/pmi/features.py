@@ -172,7 +172,9 @@ class FeatureMiner:
             vertices.add(u)
             vertices.add(v)
         extensions = []
-        for vertex in vertices:
+        # sorted: extension order decides which candidates land before the
+        # per-level cap, and raw set order is hash-seed dependent for str ids
+        for vertex in sorted(vertices, key=repr):
             for neighbor in skeleton.neighbors(vertex):
                 key = edge_key(vertex, neighbor)
                 if key not in embedding_edges:

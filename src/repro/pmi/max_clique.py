@@ -12,6 +12,7 @@ solution when the instance exceeds a node budget.
 from __future__ import annotations
 
 from collections.abc import Hashable, Mapping
+from repro.exceptions import ConfigurationError
 
 Node = Hashable
 
@@ -49,7 +50,7 @@ def maximum_weight_clique(
         return [], 0.0
     for node in nodes:
         if weights.get(node, 0.0) < 0:
-            raise ValueError(f"negative weight for node {node!r}")
+            raise ConfigurationError(f"negative weight for node {node!r}")
 
     greedy_clique = _greedy_clique(adjacency, weights)
     best = {
@@ -81,7 +82,7 @@ def maximum_weight_clique(
             new_candidates = [
                 other for other in candidates[index + 1 :] if other in adjacency[node]
             ]
-            expand(current + [node], current_weight + weights.get(node, 0.0), new_candidates)
+            expand([*current, node], current_weight + weights.get(node, 0.0), new_candidates)
 
     expand([], 0.0, ordered)
     if not best["clique"] and nodes:

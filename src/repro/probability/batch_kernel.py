@@ -47,7 +47,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
-from repro.exceptions import ProbabilityError
+from repro.exceptions import ConfigurationError, ProbabilityError
 from repro.probability.dnf import _bisect, normalize_events
 from repro.probability.junction_tree import VariableEliminationEngine
 from repro.probability.sampling import (
@@ -250,7 +250,7 @@ class BatchWorldSampler:
         """
         model = self.model
         if num_samples < 0:
-            raise ValueError(f"num_samples must be >= 0, got {num_samples!r}")
+            raise ConfigurationError(f"num_samples must be >= 0, got {num_samples!r}")
         ev_cols, ev_vals = _evidence_arrays(model, evidence)
         if model.is_independent:
             return self._sample_independent(generator, num_samples, ev_cols, ev_vals)

@@ -128,7 +128,7 @@ def _partition_function(factors: list[Factor]) -> float:
             product = product.multiply(factor)
         summed = product.marginalize([variable])
         if summed.variables:
-            working = untouched + [summed]
+            working = [*untouched, summed]
         else:
             constants *= summed.total()
             working = untouched

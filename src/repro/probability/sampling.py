@@ -16,7 +16,7 @@ import math
 from collections.abc import Callable, Mapping
 from typing import TYPE_CHECKING
 
-from repro.exceptions import ProbabilityError
+from repro.exceptions import ConfigurationError, ProbabilityError
 from repro.utils.rng import RandomLike, ensure_rng
 
 if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
@@ -36,9 +36,9 @@ def monte_carlo_sample_size(xi: float = DEFAULT_XI, tau: float = DEFAULT_TAU) ->
     existed.
     """
     if not 0.0 < xi < 1.0:
-        raise ValueError(f"xi must be in (0, 1), got {xi!r}")
+        raise ConfigurationError(f"xi must be in (0, 1), got {xi!r}")
     if not 0.0 < tau <= 1.0:
-        raise ValueError(f"tau must be in (0, 1], got {tau!r}")
+        raise ConfigurationError(f"tau must be in (0, 1], got {tau!r}")
     return max(1, math.ceil((4.0 * math.log(2.0 / xi)) / (tau * tau)))
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from threading import Lock
+from repro.exceptions import ConfigurationError
 
 
 @dataclass
@@ -55,14 +56,15 @@ class AnswerCache:
 
     def __init__(self, max_entries: int = 1024) -> None:
         if max_entries < 0:
-            raise ValueError(f"max_entries must be >= 0, got {max_entries!r}")
+            raise ConfigurationError(f"max_entries must be >= 0, got {max_entries!r}")
         self._max_entries = max_entries
         self._entries: OrderedDict[tuple, dict] = OrderedDict()
         self._lock = Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: tuple | None) -> dict | None:
         """The cached payload, or ``None``; uncacheable keys count as misses."""

@@ -39,7 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.catalog import GraphCatalog
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import ConfigurationError, ReproError, ServiceError
 from repro.graphs.io import probabilistic_graph_from_dict
 from repro.service.cache import AnswerCache
 from repro.service.protocol import (
@@ -86,11 +86,11 @@ class ServiceConfig:
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
-            raise ValueError(f"batch_window must be >= 0, got {self.batch_window!r}")
+            raise ConfigurationError(f"batch_window must be >= 0, got {self.batch_window!r}")
         if self.max_batch_size < 1:
-            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size!r}")
+            raise ConfigurationError(f"max_batch_size must be >= 1, got {self.max_batch_size!r}")
         if self.max_queue_depth < 1:
-            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth!r}")
+            raise ConfigurationError(f"max_queue_depth must be >= 1, got {self.max_queue_depth!r}")
 
 
 @dataclass

@@ -32,6 +32,7 @@ from repro.graphs.labeled_graph import LabeledGraph
 from repro.isomorphism.embeddings import count_embeddings_block, find_embeddings
 from repro.pmi.features import Feature
 from repro.utils.rows import resolve_row_selector
+from repro.exceptions import ConfigurationError, StateError
 
 
 class StructuralFeatureIndex:
@@ -62,7 +63,7 @@ class StructuralFeatureIndex:
         safe either way because it replaces the matrix via ``vstack``.
         """
         if counts.shape[1] != len(features):
-            raise ValueError(
+            raise ConfigurationError(
                 f"counts matrix has {counts.shape[1]} feature columns, "
                 f"got {len(features)} features"
             )
@@ -75,7 +76,7 @@ class StructuralFeatureIndex:
             index._counts = np.array(counts, dtype=np.int32)  # own the buffer
         else:
             if counts.dtype != np.int32:
-                raise ValueError(
+                raise ConfigurationError(
                     f"copy=False requires an int32 counts matrix, got {counts.dtype}"
                 )
             index._counts = counts
@@ -103,7 +104,7 @@ class StructuralFeatureIndex:
         catalog; existing rows are never touched.
         """
         if not self._built:
-            raise ValueError("the structural feature index must be built first")
+            raise StateError("the structural feature index must be built first")
         self._counts = np.vstack([self._counts, self._count_matrix(skeletons)])
         return self
 
@@ -130,7 +131,7 @@ class StructuralFeatureIndex:
         Used to split one built structural index into per-shard slices.
         """
         if not self._built:
-            raise ValueError("the structural feature index must be built first")
+            raise StateError("the structural feature index must be built first")
         _, selector = resolve_row_selector(graph_ids, self._counts.shape[0])
         sub = StructuralFeatureIndex(embedding_limit=self.embedding_limit)
         sub.features = list(self.features)
@@ -143,7 +144,7 @@ class StructuralFeatureIndex:
         """The raw ``counts[graph, feature]`` matrix (read-only view; this is
         what :meth:`from_counts` restores on the shard-cache warm path)."""
         if not self._built:
-            raise ValueError("the structural feature index must be built first")
+            raise StateError("the structural feature index must be built first")
         view = self._counts.view()
         view.flags.writeable = False
         return view

@@ -21,6 +21,7 @@ from repro.graphs.labeled_graph import LabeledGraph
 from repro.isomorphism.mcs import is_subgraph_similar, signature_distance_lower_bound
 from repro.structural.feature_index import StructuralFeatureIndex
 from repro.utils.timer import Timer
+from repro.exceptions import StateError
 
 
 @dataclass
@@ -46,7 +47,7 @@ class StructuralFilter:
         exact_check: bool = False,
     ) -> None:
         if not index.is_built:
-            raise ValueError("the structural feature index must be built first")
+            raise StateError("the structural feature index must be built first")
         self.index = index
         # kept as the sequence given, NOT listed: the planner passes a lazy
         # per-graph view over shared-memory shards, and only the skeletons

@@ -120,7 +120,7 @@ def discard_stale_tmp_files(directory: str | Path) -> int:
     if not root.is_dir():
         return 0
     removed = 0
-    for stale in root.rglob(f"*{_TMP_SUFFIX}"):
+    for stale in sorted(root.rglob(f"*{_TMP_SUFFIX}")):
         try:
             stale.unlink()
             removed += 1

@@ -7,6 +7,7 @@ helper keeps the validation and the zero-copy rule in one place.
 """
 
 from __future__ import annotations
+from repro.exceptions import ConfigurationError
 
 
 def resolve_row_selector(graph_ids, num_rows: int):
@@ -20,7 +21,7 @@ def resolve_row_selector(graph_ids, num_rows: int):
     ids = list(graph_ids)
     for graph_id in ids:
         if not 0 <= graph_id < num_rows:
-            raise ValueError(f"graph id {graph_id!r} is not indexed")
+            raise ConfigurationError(f"graph id {graph_id!r} is not indexed")
     contiguous = ids == list(range(ids[0], ids[0] + len(ids))) if ids else True
     selector = slice(ids[0], ids[0] + len(ids)) if contiguous and ids else ids
     return ids, selector

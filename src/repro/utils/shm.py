@@ -420,6 +420,7 @@ class LazyGraphList(Sequence):
         if index < 0:
             index += len(self)
         if not 0 <= index < len(self):
+            # repro: allow[EXC001] -- the sequence protocol requires IndexError
             raise IndexError(f"graph index {index} out of range")
         graph = self._cache.get(index)
         if graph is None:

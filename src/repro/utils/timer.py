@@ -4,6 +4,7 @@ statistics.  ``time.perf_counter`` based, usable as a context manager."""
 from __future__ import annotations
 
 import time
+from repro.exceptions import StateError
 
 
 class Timer:
@@ -30,7 +31,7 @@ class Timer:
     def stop(self) -> float:
         """Stop the timer and return the total accumulated seconds."""
         if self._started_at is None:
-            raise RuntimeError("Timer.stop() called before start()")
+            raise StateError("Timer.stop() called before start()")
         self.elapsed += time.perf_counter() - self._started_at
         self._started_at = None
         return self.elapsed

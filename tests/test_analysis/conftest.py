@@ -1,0 +1,41 @@
+"""Shared fixtures for the contract-linter tests.
+
+Each rule test writes a small fixture module under a synthetic ``repro/``
+package directory (so package-scoped rules see it as in-scope) and runs the
+real engine over it — the tests exercise the whole load/annotate/resolve/
+suppress pipeline, not rule internals.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import run_analysis
+
+
+@pytest.fixture
+def analyze(tmp_path):
+    """Run the analysis over fixture code; returns the full Report.
+
+    ``relpath`` controls scope classification: the default lands inside a
+    ``repro/`` package directory (query-path and taxonomy scoped), while e.g.
+    ``repro/utils/rng.py`` exercises owner-module exemptions and a path with
+    no ``repro`` component exercises out-of-scope behavior.
+    """
+
+    def run(code, relpath="repro/fixture_mod.py", baseline=frozenset(), rules=None):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+        return run_analysis(
+            [str(path)], baseline_fingerprints=frozenset(baseline), rules=rules
+        )
+
+    return run
+
+
+def rule_ids(report):
+    """The active finding rule ids, in report order."""
+    return [finding.rule for finding in report.findings]

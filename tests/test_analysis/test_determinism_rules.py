@@ -1,0 +1,269 @@
+"""DET0xx fixture tests: each rule's positive, negative, and exemption cases."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestAmbientRng:
+    def test_module_level_random_flagged(self, analyze):
+        report = analyze(
+            """
+            import random
+
+            def pick(items):
+                return items[random.randint(0, len(items) - 1)]
+            """
+        )
+        assert rule_ids(report) == ["DET001"]
+        assert "random.randint" in report.findings[0].message
+
+    def test_alias_resolution_sees_through_import_as(self, analyze):
+        report = analyze(
+            """
+            import numpy as np
+
+            def noise(n):
+                return np.random.rand(n)
+            """
+        )
+        assert rule_ids(report) == ["DET001"]
+        assert "numpy.random.rand" in report.findings[0].message
+
+    def test_from_import_alias_resolved(self, analyze):
+        report = analyze(
+            """
+            from random import shuffle as mix
+
+            def scramble(items):
+                mix(items)
+            """
+        )
+        assert rule_ids(report) == ["DET001"]
+
+    def test_unseeded_constructor_flagged_seeded_allowed(self, analyze):
+        flagged = analyze(
+            """
+            import random
+
+            def make():
+                return random.Random()
+            """
+        )
+        assert rule_ids(flagged) == ["DET001"]
+        clean = analyze(
+            """
+            import random
+            from numpy.random import default_rng
+
+            def make(seed):
+                return random.Random(seed), default_rng(seed)
+            """
+        )
+        assert clean.findings == []
+
+    def test_rng_owner_module_exempt(self, analyze):
+        report = analyze(
+            """
+            import random
+
+            GLOBAL = random.Random()
+            """,
+            relpath="repro/utils/rng.py",
+        )
+        assert report.findings == []
+
+
+class TestWallClockEntropy:
+    def test_time_time_on_query_path_flagged(self, analyze):
+        report = analyze(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rule_ids(report) == ["DET002"]
+
+    def test_uuid4_flagged_monotonic_allowed(self, analyze):
+        report = analyze(
+            """
+            import time
+            import uuid
+
+            def job_id():
+                return uuid.uuid4()
+
+            def duration(start):
+                return time.perf_counter() - start
+            """
+        )
+        assert rule_ids(report) == ["DET002"]
+        assert "uuid.uuid4" in report.findings[0].message
+
+    def test_timer_module_exempt(self, analyze):
+        report = analyze(
+            """
+            import time
+
+            def wall():
+                return time.time()
+            """,
+            relpath="repro/utils/timer.py",
+        )
+        assert report.findings == []
+
+    def test_outside_query_path_not_flagged(self, analyze):
+        report = analyze(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            relpath="benchlike/bench_mod.py",
+        )
+        assert report.findings == []
+
+
+class TestUnorderedSetIteration:
+    def test_set_loop_feeding_append_flagged(self, analyze):
+        report = analyze(
+            """
+            def collect(items):
+                pending = set(items)
+                out = []
+                for item in pending:
+                    out.append(item)
+                return out
+            """
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_order_insensitive_reduction_not_flagged(self, analyze):
+        report = analyze(
+            """
+            def total(items):
+                pending = set(items)
+                acc = 0.0
+                for item in pending:
+                    acc += item.weight
+                return acc
+            """
+        )
+        assert report.findings == []
+
+    def test_sorted_wrapping_not_flagged(self, analyze):
+        report = analyze(
+            """
+            def collect(items):
+                pending = set(items)
+                out = []
+                for item in sorted(pending):
+                    out.append(item)
+                return out
+            """
+        )
+        assert report.findings == []
+
+    def test_yield_from_set_loop_flagged(self, analyze):
+        report = analyze(
+            """
+            def emit(items):
+                pending = {i for i in items}
+                for item in pending:
+                    yield item
+            """
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_comprehension_over_set_flagged_unless_order_erased(self, analyze):
+        flagged = analyze(
+            """
+            def listed(items):
+                pending = set(items)
+                return [item for item in pending]
+            """
+        )
+        assert rule_ids(flagged) == ["DET003"]
+        clean = analyze(
+            """
+            def listed(items):
+                pending = set(items)
+                return sorted(item for item in pending)
+            """
+        )
+        assert clean.findings == []
+
+    def test_next_iter_and_pop_flagged(self, analyze):
+        report = analyze(
+            """
+            def first_and_any(items):
+                pending = set(items)
+                first = next(iter(pending))
+                other = pending.pop()
+                return first, other
+            """
+        )
+        assert rule_ids(report) == ["DET003", "DET003"]
+
+    def test_transitive_binding_tracked(self, analyze):
+        report = analyze(
+            """
+            def chained(items):
+                a = set(items)
+                b = a
+                out = []
+                for item in b:
+                    out.append(item)
+                return out
+            """
+        )
+        assert rule_ids(report) == ["DET003"]
+
+    def test_set_annotation_tracked(self, analyze):
+        report = analyze(
+            """
+            def annotated(pending: set):
+                out = []
+                for item in pending:
+                    out.append(item)
+                return out
+            """
+        )
+        assert rule_ids(report) == ["DET003"]
+
+
+class TestFilesystemOrder:
+    def test_bare_glob_flagged(self, analyze):
+        report = analyze(
+            """
+            def scan(directory):
+                out = []
+                for path in directory.glob("*.json"):
+                    out.append(path)
+                return out
+            """
+        )
+        assert rule_ids(report) == ["DET004"]
+
+    def test_sorted_glob_allowed_even_nested(self, analyze):
+        report = analyze(
+            """
+            def scan(directory):
+                return sorted(p.name for p in directory.glob("*.json"))
+            """
+        )
+        assert report.findings == []
+
+    def test_os_listdir_flagged(self, analyze):
+        report = analyze(
+            """
+            import os
+
+            def scan(directory):
+                return list(os.listdir(directory))
+            """
+        )
+        assert rule_ids(report) == ["DET004"]

@@ -1,0 +1,124 @@
+"""IO0xx fixture tests: write-mode opens, in-place path writes, commit primitives."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestRawWriteOpen:
+    def test_write_mode_flagged(self, analyze):
+        report = analyze(
+            """
+            def save(path, payload):
+                with open(path, "w") as handle:
+                    handle.write(payload)
+            """
+        )
+        assert rule_ids(report) == ["IO001"]
+
+    def test_append_exclusive_and_update_modes_flagged(self, analyze):
+        report = analyze(
+            """
+            def touch(path):
+                open(path, "ab").close()
+                open(path, "x").close()
+                open(path, mode="r+b").close()
+            """
+        )
+        assert rule_ids(report) == ["IO001", "IO001", "IO001"]
+
+    def test_read_mode_allowed(self, analyze):
+        report = analyze(
+            """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def load_binary(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """
+        )
+        assert report.findings == []
+
+    def test_dynamic_mode_flagged_as_unprovable(self, analyze):
+        report = analyze(
+            """
+            def reopen(path, mode):
+                return open(path, mode)
+            """
+        )
+        assert rule_ids(report) == ["IO001"]
+        assert "dynamic mode" in report.findings[0].message
+
+    def test_atomic_io_owner_exempt(self, analyze):
+        report = analyze(
+            """
+            import os
+
+            def commit(path, tmp, payload):
+                with open(tmp, "w") as handle:
+                    handle.write(payload)
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            """,
+            relpath="repro/utils/atomic_io.py",
+        )
+        assert report.findings == []
+
+
+class TestRawPathWrite:
+    def test_write_text_flagged_with_atomic_hint(self, analyze):
+        report = analyze(
+            """
+            def save(path, payload):
+                path.write_text(payload)
+            """
+        )
+        assert rule_ids(report) == ["IO002"]
+        assert "atomic_write_text" in report.findings[0].message
+
+    def test_write_bytes_flagged(self, analyze):
+        report = analyze(
+            """
+            def save(path, payload):
+                path.write_bytes(payload)
+            """
+        )
+        assert rule_ids(report) == ["IO002"]
+        assert "atomic_write_bytes" in report.findings[0].message
+
+    def test_read_text_allowed(self, analyze):
+        report = analyze(
+            """
+            def load(path):
+                return path.read_text()
+            """
+        )
+        assert report.findings == []
+
+
+class TestCommitPrimitives:
+    def test_os_replace_rename_fsync_flagged(self, analyze):
+        report = analyze(
+            """
+            import os
+
+            def swap(a, b, handle):
+                os.replace(a, b)
+                os.rename(b, a)
+                os.fsync(handle.fileno())
+            """
+        )
+        assert rule_ids(report) == ["IO003", "IO003", "IO003"]
+
+    def test_shutil_move_not_in_scope(self, analyze):
+        report = analyze(
+            """
+            import shutil
+
+            def move(a, b):
+                shutil.move(a, b)
+            """
+        )
+        assert report.findings == []

@@ -1,0 +1,179 @@
+"""Engine-level behavior: suppressions, baseline round-trips, fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Finding, load_baseline, run_analysis, save_baseline
+from repro.exceptions import AnalysisError
+
+FIXTURE = """
+import random
+
+
+def pick(items):
+    return items[random.randint(0, len(items) - 1)]
+"""
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self, analyze):
+        report = analyze(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)  # repro: allow[DET001] -- fixture
+            """
+        )
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["DET001"]
+        assert report.unused_suppressions == []
+
+    def test_comment_line_above_covers_next_line(self, analyze):
+        report = analyze(
+            """
+            import random
+
+            def pick(items):
+                # repro: allow[DET001] -- fixture
+                return random.choice(items)
+            """
+        )
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["DET001"]
+
+    def test_wrong_rule_id_does_not_suppress(self, analyze):
+        report = analyze(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)  # repro: allow[IO001] -- wrong rule
+            """
+        )
+        assert [f.rule for f in report.findings] == ["DET001"]
+        assert len(report.unused_suppressions) == 1
+
+    def test_wildcard_and_multi_rule_suppression(self, analyze):
+        report = analyze(
+            """
+            import os
+            import random
+
+            def pick(items):
+                os.replace(random.choice(items), "x")  # repro: allow[DET001, IO003]
+            """
+        )
+        assert report.findings == []
+        assert sorted(f.rule for f in report.suppressed) == ["DET001", "IO003"]
+
+    def test_unused_suppression_reported_and_fails_strict(self, analyze):
+        report = analyze(
+            """
+            def clean():  # repro: allow[DET001] -- nothing here triggers it
+                return 1
+            """
+        )
+        assert report.findings == []
+        assert len(report.unused_suppressions) == 1
+        assert report.clean(strict=False)
+        assert not report.clean(strict=True)
+
+    def test_suppression_inside_string_ignored(self, analyze):
+        report = analyze(
+            """
+            import random
+
+            MARKER = "# repro: allow[DET001]"
+
+            def pick(items):
+                return random.choice(items)
+            """
+        )
+        assert [f.rule for f in report.findings] == ["DET001"]
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_findings(self, analyze, tmp_path):
+        first = analyze(FIXTURE)
+        assert [f.rule for f in first.findings] == ["DET001"]
+
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, first.findings)
+        entries = load_baseline(baseline_path)
+        assert set(entries) == {first.findings[0].fingerprint}
+
+        second = analyze(FIXTURE, baseline=frozenset(entries))
+        assert second.findings == []
+        assert [f.rule for f in second.baselined] == ["DET001"]
+        assert second.stale_baseline == []
+        assert second.clean(strict=True)
+
+    def test_edited_line_invalidates_baseline_entry(self, analyze):
+        first = analyze(FIXTURE)
+        baseline = frozenset(f.fingerprint for f in first.findings)
+        edited = FIXTURE.replace("len(items) - 1", "len(items) - 2")
+        report = analyze(edited, baseline=baseline)
+        # the changed line no longer matches: the finding is active again
+        # and the old entry is reported stale
+        assert [f.rule for f in report.findings] == ["DET001"]
+        assert report.stale_baseline == sorted(baseline)
+        assert not report.clean(strict=True)
+
+    def test_fingerprint_survives_line_drift(self, analyze):
+        first = analyze(FIXTURE)
+        shifted = "# leading comment\n\n" + FIXTURE
+        second = analyze(shifted)
+        assert first.findings[0].line != second.findings[0].line
+        assert first.findings[0].fingerprint == second.findings[0].fingerprint
+
+    def test_unreadable_baseline_raises_analysis_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            load_baseline(bad)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "findings": {}}), encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            load_baseline(bad)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+
+class TestEngine:
+    def test_unparseable_file_raises_analysis_error(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            run_analysis([str(path)])
+
+    def test_missing_path_raises_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            run_analysis([str(tmp_path / "no_such_dir")])
+
+    def test_findings_sorted_by_location(self, analyze):
+        report = analyze(
+            """
+            import random
+            import os
+
+            def later(path):
+                os.replace(path, path)
+
+            def earlier(items):
+                return random.choice(items)
+            """
+        )
+        locations = [(f.path, f.line, f.column, f.rule) for f in report.findings]
+        assert locations == sorted(locations)
+
+    def test_finding_serialization_round_trip(self, analyze):
+        report = analyze(FIXTURE)
+        payload = report.findings[0].as_dict()
+        assert Finding.from_dict(payload) == report.findings[0]

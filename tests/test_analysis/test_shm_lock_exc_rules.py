@@ -1,0 +1,180 @@
+"""SHM001 / LOCK001 / EXC001 fixture tests."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestDirectSharedMemory:
+    def test_from_import_flagged(self, analyze):
+        report = analyze(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def grab(name):
+                return SharedMemory(name=name)
+            """
+        )
+        assert "SHM001" in rule_ids(report)
+
+    def test_plain_import_and_attribute_use_flagged(self, analyze):
+        report = analyze(
+            """
+            import multiprocessing.shared_memory
+
+            def grab(name):
+                return multiprocessing.shared_memory.SharedMemory(name=name)
+            """
+        )
+        assert rule_ids(report).count("SHM001") >= 2
+
+    def test_from_multiprocessing_import_shared_memory_flagged(self, analyze):
+        report = analyze(
+            """
+            from multiprocessing import shared_memory
+
+            def grab(name):
+                return shared_memory.SharedMemory(name=name)
+            """
+        )
+        assert "SHM001" in rule_ids(report)
+
+    def test_shm_owner_exempt(self, analyze):
+        report = analyze(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def create(name, size):
+                return SharedMemory(name=name, create=True, size=size)
+            """,
+            relpath="repro/utils/shm.py",
+        )
+        assert report.findings == []
+
+    def test_registry_users_clean(self, analyze):
+        report = analyze(
+            """
+            from repro.utils.shm import attach_segment
+
+            def attach(name):
+                return attach_segment(name)
+            """
+        )
+        assert report.findings == []
+
+
+class TestGuardedAttributes:
+    def test_unlocked_guarded_access_flagged(self, analyze):
+        report = analyze(
+            """
+            class AnswerCache:
+                def __init__(self):
+                    self._lock = None
+                    self._entries = {}
+
+                def peek(self, key):
+                    return self._entries.get(key)
+            """
+        )
+        assert rule_ids(report) == ["LOCK001"]
+        assert "peek" in report.findings[0].message
+
+    def test_locked_access_clean_and_init_exempt(self, analyze):
+        report = analyze(
+            """
+            import threading
+
+            class AnswerCache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def peek(self, key):
+                    with self._lock:
+                        return self._entries.get(key)
+            """
+        )
+        assert report.findings == []
+
+    def test_other_class_not_contracted(self, analyze):
+        report = analyze(
+            """
+            class Unrelated:
+                def peek(self, key):
+                    return self._entries.get(key)
+            """
+        )
+        assert report.findings == []
+
+    def test_nested_with_does_not_leak_lock(self, analyze):
+        report = analyze(
+            """
+            class ShardedPlanner:
+                def size(self):
+                    with self._lock:
+                        width = self._executor_width
+                    return width + len(self._local_planners)
+            """
+        )
+        assert rule_ids(report) == ["LOCK001"]
+        assert "_local_planners" in report.findings[0].message
+
+
+class TestBuiltinRaise:
+    def test_bare_valueerror_flagged_in_scope(self, analyze):
+        report = analyze(
+            """
+            def check(n):
+                if n < 0:
+                    raise ValueError("negative")
+            """
+        )
+        assert rule_ids(report) == ["EXC001"]
+
+    def test_taxonomy_types_allowed(self, analyze):
+        report = analyze(
+            """
+            from repro.exceptions import ConfigurationError, StateError
+
+            def check(n, started):
+                if n < 0:
+                    raise ConfigurationError("negative")
+                if not started:
+                    raise StateError("not started")
+            """
+        )
+        assert report.findings == []
+
+    def test_typeerror_and_notimplemented_allowed(self, analyze):
+        report = analyze(
+            """
+            def check(n):
+                if not isinstance(n, int):
+                    raise TypeError("want int")
+                raise NotImplementedError
+            """
+        )
+        assert report.findings == []
+
+    def test_bare_reraise_allowed(self, analyze):
+        report = analyze(
+            """
+            def passthrough(fn):
+                try:
+                    return fn()
+                except Exception:
+                    raise
+            """
+        )
+        assert report.findings == []
+
+    def test_out_of_scope_module_not_flagged(self, analyze):
+        report = analyze(
+            """
+            def check(n):
+                if n < 0:
+                    raise ValueError("negative")
+            """,
+            relpath="scripts/tool.py",
+        )
+        assert report.findings == []

@@ -372,7 +372,7 @@ class TestVerifierIntegration:
         query.add_vertex(1, "P1")
         query.add_edge(0, 1, "i")
         verifier = Verifier(VerificationConfig(method="sampling", num_samples=80))
-        rngs = lambda ids: [derive_rng(23, VERIFY_STREAM, gid) for gid in ids]  # noqa: E731
+        rngs = lambda ids: [derive_rng(23, VERIFY_STREAM, gid) for gid in ids]
         whole = verifier.verify_block(query, graphs, 0, rngs=rngs(range(len(graphs))))
         split = verifier.verify_block(
             query, graphs[:3], 0, rngs=rngs(range(3))

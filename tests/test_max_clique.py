@@ -56,7 +56,7 @@ class TestExactSmall:
 
     def test_matches_brute_force_on_random_graphs(self):
         rng = random.Random(11)
-        for trial in range(5):
+        for _trial in range(5):
             nodes = list(range(8))
             edges = [(u, v) for u in nodes for v in nodes if u < v and rng.random() < 0.5]
             adjacency = make_adjacency(edges, nodes)

@@ -23,7 +23,7 @@ from repro.core import (
     validate_top_k_query,
 )
 from repro.datasets import PPIDatasetConfig, extract_query, generate_ppi_database
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, StateError
 from repro.graphs import LabeledGraph
 from repro.pmi import BoundConfig, FeatureSelectionConfig
 
@@ -128,7 +128,7 @@ class TestThresholdState:
         assert state.floor == 0.0
 
     def test_offer_requires_top_k_mode(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(StateError):
             ThresholdState.fixed(0.5).offer(QueryAnswer(0, None, 0.5, "verification"))
 
 

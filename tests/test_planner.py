@@ -79,7 +79,7 @@ class TestQueryMany:
             {0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1, "x"), (2, 3, "x")]
         )
         with pytest.raises(QueryError):
-            indexed.query_many(workload + [disconnected], 0.3, 1)
+            indexed.query_many([*workload, disconnected], 0.3, 1)
 
     def test_batch_requires_index(self, planner_database, workload):
         database = ProbabilisticGraphDatabase(planner_database.graphs)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets import extract_query
+from repro.exceptions import StateError
 from repro.isomorphism import is_subgraph_similar
 from repro.pmi import FeatureMiner, FeatureSelectionConfig
 from repro.structural import StructuralFeatureIndex, StructuralFilter
@@ -37,7 +38,7 @@ class TestFeatureIndex:
 
     def test_unbuilt_filter_rejected(self, structural_setup):
         _, skeletons, _ = structural_setup
-        with pytest.raises(ValueError):
+        with pytest.raises(StateError):
             StructuralFilter(StructuralFeatureIndex(), skeletons)
 
     def test_subset_counts_match_source_rows(self, structural_setup):
@@ -52,7 +53,7 @@ class TestFeatureIndex:
         index, _, _ = structural_setup
         with pytest.raises(ValueError):
             index.subset([0, 9999])
-        with pytest.raises(ValueError):
+        with pytest.raises(StateError):
             StructuralFeatureIndex().subset([0])
 
 
